@@ -1,0 +1,167 @@
+"""Ablation benchmarks (extensions beyond the paper's figures).
+
+* ABL1 — δ-threshold of Algorithm 1: how the staging decision changes with the
+  overlap-volume threshold.
+* ABL2 — hoisting of copy code out of redundant loops (Section 4.2): effect on
+  the data-movement cost model.
+* ABL3 — dependence-based copy minimisation (Section 3.1.4, left as future
+  work in the paper): effect on copy volumes, with semantics preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import ProgramBuilder
+from repro.kernels import build_conv2d_program, build_me_program
+from repro.runtime import run_program
+from repro.scratchpad import ScratchpadManager, ScratchpadOptions
+from repro.tiling.cost_model import DataMovementCostModel
+
+from conftest import print_series
+
+
+# -- ABL1: delta threshold ------------------------------------------------------------
+@pytest.fixture(scope="module")
+def delta_rows():
+    program = build_conv2d_program(16, 16, kernel=3)
+    rows = []
+    for delta in (0.1, 0.3, 0.6):
+        plan = ScratchpadManager(
+            ScratchpadOptions(target="gpu", delta=delta, param_binding={})
+        ).plan(program)
+        rows.append(
+            {
+                "delta": delta,
+                "staged_buffers": len(plan.buffers),
+                "skipped": len(plan.skipped),
+                "footprint_bytes": plan.total_footprint_bytes(),
+            }
+        )
+    print_series("ABL1: Algorithm-1 delta threshold (conv2d 16x16)", rows)
+    return rows
+
+
+def test_abl1_delta_monotone(delta_rows):
+    staged = [row["staged_buffers"] for row in delta_rows]
+    assert staged == sorted(staged, reverse=True), "higher delta stages fewer partitions"
+    assert delta_rows[0]["staged_buffers"] >= 2
+
+
+def test_abl1_benchmark(benchmark):
+    program = build_conv2d_program(8, 8, kernel=3)
+    benchmark(
+        lambda: ScratchpadManager(
+            ScratchpadOptions(target="gpu", delta=0.3, param_binding={})
+        ).plan(program)
+    )
+
+
+# -- ABL2: hoisting -------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def hoisting_rows():
+    program = build_me_program(64, 64, window=16)
+    rows = []
+    for hoisting in (False, True):
+        model = DataMovementCostModel(
+            program=program,
+            tile_loops=["i", "j", "k", "l"],
+            loop_extents={"i": 64, "j": 64, "k": 16, "l": 16},
+            threads=64,
+            sync_cost=8.0,
+            transfer_cost=4.0,
+            hoisting=hoisting,
+        )
+        tile = {"i": 32, "j": 16, "k": 16, "l": 16}
+        details = model.buffer_details(tile)
+        rows.append(
+            {
+                "hoisting": hoisting,
+                "movement_cost": model.movement_cost(tile),
+                "total_occurrences": sum(d["occurrences"] for d in details),
+            }
+        )
+    print_series("ABL2: copy-code hoisting (Section 4.2) on the ME cost model", rows)
+    return rows
+
+
+def test_abl2_hoisting_reduces_cost(hoisting_rows):
+    without, with_hoisting = hoisting_rows
+    assert with_hoisting["movement_cost"] <= without["movement_cost"]
+    assert with_hoisting["total_occurrences"] <= without["total_occurrences"]
+
+
+def test_abl2_benchmark(benchmark, hoisting_rows):
+    program = build_me_program(32, 32, window=8)
+    model = DataMovementCostModel(
+        program=program,
+        tile_loops=["i", "j", "k", "l"],
+        loop_extents={"i": 32, "j": 32, "k": 8, "l": 8},
+        threads=64,
+        sync_cost=8.0,
+        transfer_cost=4.0,
+    )
+    benchmark(lambda: model.movement_cost({"i": 16, "j": 16, "k": 8, "l": 8}))
+
+
+# -- ABL3: liveness-based copy minimisation -----------------------------------------------
+def _producer_consumer_program():
+    b = ProgramBuilder("prodcons")
+    A = b.array("A", (32,))
+    T = b.array("T", (32,))
+    B = b.array("B", (32,))
+    i = b.var("i")
+    with b.loop("i", 0, 31):
+        b.assign(T[i], A[i] * 2, name="produce")
+    with b.loop("i2", 0, 31):
+        b.assign(B[b.var("i2")], T[b.var("i2")] + 1, name="consume")
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def liveness_rows():
+    program = _producer_consumer_program()
+    rows = []
+    for liveness in (False, True):
+        manager = ScratchpadManager(
+            ScratchpadOptions(
+                target="cell", liveness=liveness, live_out=["B"], param_binding={}
+            )
+        )
+        plan = manager.plan(program)
+        rows.append(
+            {
+                "liveness": liveness,
+                "copy_in_elements": plan.volume_in({}),
+                "copy_out_elements": plan.volume_out({}),
+            }
+        )
+    print_series("ABL3: Section-3.1.4 copy minimisation (producer/consumer)", rows)
+    return rows
+
+
+def test_abl3_liveness_reduces_copy_volume(liveness_rows):
+    without, with_liveness = liveness_rows
+    assert with_liveness["copy_in_elements"] < without["copy_in_elements"]
+    assert with_liveness["copy_out_elements"] < without["copy_out_elements"]
+
+
+def test_abl3_liveness_preserves_semantics():
+    program = _producer_consumer_program()
+    manager = ScratchpadManager(
+        ScratchpadOptions(target="cell", liveness=True, live_out=["B"], param_binding={})
+    )
+    transformed, _ = manager.apply(program)
+    data = np.random.default_rng(5).random(32)
+    reference = run_program(program, inputs={"A": data.copy()})
+    staged = run_program(transformed, inputs={"A": data.copy()})
+    assert np.allclose(reference.data("B"), staged.data("B"))
+
+
+def test_abl3_benchmark(benchmark):
+    program = _producer_consumer_program()
+    manager = ScratchpadManager(
+        ScratchpadOptions(target="cell", liveness=True, live_out=["B"], param_binding={})
+    )
+    benchmark(lambda: manager.plan(program))

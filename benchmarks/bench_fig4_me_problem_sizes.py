@@ -1,0 +1,60 @@
+"""Fig. 4 — MPEG-4 ME execution time vs. problem size (256 K … 64 M pixels).
+
+Three configurations, as in the paper: GPU without scratchpad staging, GPU
+with scratchpad staging (tile 32·16·16·16, 32 blocks, 256 threads) and the
+sequential CPU.  Expected shape: the scratchpad version is roughly an order of
+magnitude (paper: ~8×) faster than the DRAM-only version and more than 100×
+faster than the CPU, at every problem size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import simulate_cpu, simulate_gpu
+from repro.kernels import ME_PROBLEM_SIZES, MEWorkloadModel
+
+from conftest import print_series
+
+TILE = (32, 16, 16, 16)
+SIZES = ["256k", "1M", "2M", "4M", "9M", "16M", "64M"]
+
+
+def _row(label: str):
+    height, width = ME_PROBLEM_SIZES[label]
+    model = MEWorkloadModel(height, width, num_blocks=32, threads_per_block=256)
+    spm = simulate_gpu(
+        f"me-{label}-spm", model.block_workload(TILE, True), model.geometry(TILE, True)
+    )
+    dram = simulate_gpu(
+        f"me-{label}-dram", model.block_workload(TILE, False), model.geometry(TILE, False)
+    )
+    cpu = simulate_cpu(f"me-{label}-cpu", model.cpu_workload())
+    return {
+        "problem": label,
+        "gpu_no_scratchpad_ms": dram.time_ms,
+        "gpu_scratchpad_ms": spm.time_ms,
+        "cpu_ms": cpu.time_ms,
+        "spm_speedup": dram.time_ms / spm.time_ms,
+        "cpu_speedup": cpu.time_ms / spm.time_ms,
+    }
+
+
+@pytest.fixture(scope="module")
+def figure4_rows():
+    rows = [_row(label) for label in SIZES]
+    print_series("Fig. 4: Mpeg4 ME execution time vs problem size (modelled ms)", rows)
+    return rows
+
+
+def test_fig4_shape(figure4_rows):
+    for row in figure4_rows:
+        assert row["gpu_scratchpad_ms"] < row["gpu_no_scratchpad_ms"] < row["cpu_ms"]
+        assert 4 <= row["spm_speedup"] <= 16, "paper reports ~8x from scratchpad staging"
+        assert row["cpu_speedup"] >= 100, "paper reports >100x over the CPU"
+    times = [row["gpu_scratchpad_ms"] for row in figure4_rows]
+    assert times == sorted(times), "time grows monotonically with problem size"
+
+
+def test_fig4_benchmark(benchmark, figure4_rows):
+    benchmark(lambda: _row("16M"))

@@ -1,0 +1,82 @@
+"""Fig. 7 — 1-D Jacobi execution time vs. number of thread blocks (N = 8 K–32 K).
+
+For problem sizes that fit entirely in the device's aggregate scratchpad, the
+paper varies the number of thread blocks and observes a U-shaped curve: more
+blocks first improves performance (more parallelism), then hurts once the
+per-block work is too small to hide the cross-block synchronisation cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import simulate_gpu
+from repro.kernels import JACOBI_PROBLEM_SIZES, JacobiWorkloadModel
+
+from conftest import print_series
+
+BLOCK_COUNTS = [4, 8, 16, 32, 64, 128, 192, 256]
+SIZES = ["8k", "16k", "32k"]
+
+
+def _time_for(size_label: str, num_blocks: int) -> float:
+    size = JACOBI_PROBLEM_SIZES[size_label]
+    per_block = -(-size // num_blocks)
+    model = JacobiWorkloadModel(
+        size=size,
+        time_steps=4096,
+        num_blocks=num_blocks,
+        threads_per_block=64,
+        time_tile=32,
+        space_tile=min(per_block, 256),
+    )
+    report = simulate_gpu(
+        f"jacobi-{size_label}-{num_blocks}b",
+        model.block_workload(True),
+        model.geometry(True),
+        model.global_sync_rounds(True),
+    )
+    return report.time_ms
+
+
+@pytest.fixture(scope="module")
+def figure7_rows():
+    rows = []
+    for blocks in BLOCK_COUNTS:
+        row = {"thread_blocks": blocks}
+        for label in SIZES:
+            row[f"N={label}"] = _time_for(label, blocks)
+        rows.append(row)
+    print_series(
+        "Fig. 7: 1-D Jacobi time vs number of thread blocks (modelled ms)", rows
+    )
+    return rows
+
+
+def test_fig7_more_blocks_helps_initially(figure7_rows):
+    """Going from few blocks to a moderate count reduces execution time."""
+    for label in SIZES:
+        series = [row[f"N={label}"] for row in figure7_rows]
+        assert series[1] <= series[0] * 1.001
+
+
+def test_fig7_larger_problems_benefit_from_more_blocks(figure7_rows):
+    """The optimal block count grows (or stays) with the problem size."""
+    optima = {}
+    for label in SIZES:
+        series = {row["thread_blocks"]: row[f"N={label}"] for row in figure7_rows}
+        optima[label] = min(series, key=series.get)
+    assert optima["8k"] <= optima["32k"]
+
+
+def test_fig7_sync_cost_dominates_eventually():
+    """With a very high block count and a tiny problem, adding blocks stops helping."""
+    tiny_few = _time_for("8k", 64)
+    tiny_many = _time_for("8k", 256)
+    assert tiny_many >= tiny_few * 0.95, (
+        "per-block work at 256 blocks is too small for extra blocks to keep paying off"
+    )
+
+
+def test_fig7_benchmark(benchmark):
+    benchmark(lambda: _time_for("32k", 128))

@@ -1,0 +1,50 @@
+"""Quickstart: automatic scratchpad data management for a small stencil.
+
+Builds a 1-D stencil with the ProgramBuilder, lets the ScratchpadManager
+allocate local buffers and generate copy code, prints the transformed
+C-like code and verifies (with the reference interpreter) that the staged
+program computes exactly the same values as the original.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ProgramBuilder, ScratchpadManager, ScratchpadOptions, run_program
+from repro.ir import program_to_c
+
+
+def main() -> None:
+    # 1. Write the kernel against the builder API.
+    builder = ProgramBuilder("smooth", params=["N"])
+    n = builder.param("N")
+    src = builder.array("src", (130,))
+    dst = builder.array("dst", (130,))
+    i = builder.var("i")
+    with builder.loop("i", 1, n):
+        builder.assign(dst[i], (src[i - 1] + src[i] + src[i + 1]) / 3)
+    builder.set_default_params(N=128)
+    program = builder.build()
+
+    # 2. Apply the paper's Section-3 framework: data spaces, reuse analysis,
+    #    buffer allocation, access remapping and copy-code generation.
+    manager = ScratchpadManager(ScratchpadOptions(target="cell"))
+    staged, plan = manager.apply(program)
+
+    print("--- scratchpad plan ---")
+    print(plan.summary())
+    print()
+    print("--- transformed program ---")
+    print(program_to_c(staged))
+
+    # 3. Verify that the transformation preserved the program's semantics.
+    data = np.random.default_rng(0).random(130)
+    reference = run_program(program, inputs={"src": data.copy(), "dst": np.zeros(130)})
+    transformed = run_program(staged, inputs={"src": data.copy(), "dst": np.zeros(130)})
+    assert np.allclose(reference.data("dst"), transformed.data("dst"))
+    print("\nsemantics preserved: the staged program matches the original.")
+    print(f"scratchpad footprint: {plan.total_footprint_bytes()} bytes")
+
+
+if __name__ == "__main__":
+    main()

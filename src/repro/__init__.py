@@ -1,0 +1,57 @@
+"""repro — reproduction of Baskaran et al., PPoPP 2008.
+
+"Automatic Data Movement and Computation Mapping for Multi-level Parallel
+Architectures with Explicitly Managed Memories."
+
+Public API highlights
+---------------------
+* :class:`repro.ir.ProgramBuilder` — write affine programs.
+* :class:`repro.scratchpad.ScratchpadManager` — automatic scratchpad data
+  management (Section 3 of the paper).
+* :func:`repro.tiling.tile_program` and
+  :func:`repro.tiling.search_tile_sizes` — multi-level tiling and the
+  tile-size search (Section 4).
+* :class:`repro.core.MappingPipeline` — the end-to-end compiler.
+* :mod:`repro.machine` — the GPU / CPU performance models standing in for the
+  paper's GeForce 8800 GTX testbed.
+* :mod:`repro.kernels` — the evaluation workloads (MPEG-4 ME, 1-D Jacobi,
+  matmul, conv2d).
+"""
+
+from repro.core import MappedKernel, MappingOptions, MappingPipeline
+from repro.ir import Program, ProgramBuilder
+from repro.machine import (
+    CPUPerformanceModel,
+    GPUPerformanceModel,
+    GEFORCE_8800_GTX,
+    REFERENCE_CPU,
+    simulate_cpu,
+    simulate_gpu,
+)
+from repro.runtime import run_program
+from repro.scratchpad import ScratchpadManager, ScratchpadOptions
+from repro.tiling import TilingLevelSpec, analyze_bands, search_tile_sizes, tile_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MappedKernel",
+    "MappingOptions",
+    "MappingPipeline",
+    "Program",
+    "ProgramBuilder",
+    "CPUPerformanceModel",
+    "GPUPerformanceModel",
+    "GEFORCE_8800_GTX",
+    "REFERENCE_CPU",
+    "simulate_cpu",
+    "simulate_gpu",
+    "run_program",
+    "ScratchpadManager",
+    "ScratchpadOptions",
+    "TilingLevelSpec",
+    "analyze_bands",
+    "search_tile_sizes",
+    "tile_program",
+    "__version__",
+]

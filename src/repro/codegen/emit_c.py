@@ -1,0 +1,36 @@
+"""C-like code emission for inspection of transformed programs.
+
+The original system emitted CUDA C compiled by nvcc.  Without GPU hardware in
+the loop we keep the emission textual: the rendering shows the multi-level
+tiled loop structure, the ``__shared__`` buffer declarations, the copy-in /
+copy-out nests and the synchronisation points, which is what the paper's
+figures (Fig. 1, Fig. 3) display.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.ir.ast import Node
+from repro.ir.printer import ast_to_c, program_to_c
+from repro.ir.program import Program
+
+
+def emit_c(target: Union[Program, Node], header: Optional[str] = None) -> str:
+    """Render a program or AST fragment as C-like text.
+
+    ``header`` (e.g. the kernel name and launch geometry) is prepended as a
+    comment block when provided.
+    """
+    if isinstance(target, Program):
+        body = program_to_c(target)
+    elif isinstance(target, Node):
+        body = ast_to_c(target)
+    else:
+        raise TypeError(
+            f"emit_c expects a Program or an AST node, got {type(target).__name__}"
+        )
+    if header:
+        comment = "\n".join(f"/* {line} */" for line in header.splitlines())
+        return f"{comment}\n{body}"
+    return body

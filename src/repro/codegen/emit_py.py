@@ -1,0 +1,217 @@
+"""Emission of executable Python from loop-structure ASTs.
+
+While the reference interpreter (:mod:`repro.runtime.interpreter`) is the
+semantic oracle, it pays Fraction-arithmetic overhead per array access.  For
+larger functional checks the code generator can instead emit plain Python
+source — nested ``for`` loops indexing numpy arrays — and compile it with
+``exec``.  The emitted function has the signature ``fn(arrays, params)`` where
+``arrays`` maps array names to numpy ndarrays and ``params`` maps parameter
+names to ints; it mutates the arrays in place, exactly like the interpreter.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, List, Mapping, Optional, Set
+
+from repro.ir.ast import (
+    BlockNode,
+    GuardNode,
+    LoopNode,
+    Node,
+    StatementNode,
+    SyncNode,
+)
+from repro.ir.expressions import AffineValue, BinOp, Call, Const, Expr, Iter, Load
+from repro.ir.program import Program
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.parametric import QuasiAffineBound
+
+_INDENT = "    "
+
+
+def _frac_to_py(value: Fraction) -> str:
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"Fraction({value.numerator}, {value.denominator})"
+
+
+def _affine_to_py(expr: AffineExpr) -> str:
+    parts: List[str] = []
+    for name in sorted(expr.coefficients):
+        coeff = expr.coefficient(name)
+        if coeff == 1:
+            parts.append(f"{name}")
+        else:
+            parts.append(f"({_frac_to_py(coeff)})*{name}")
+    if expr.constant != 0 or not parts:
+        parts.append(f"({_frac_to_py(expr.constant)})")
+    return " + ".join(parts)
+
+
+def _bound_to_py(value, *, is_lower: bool) -> str:
+    rounding = "_ceil" if is_lower else "_floor"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, AffineExpr):
+        return f"{rounding}({_affine_to_py(value)})"
+    if isinstance(value, QuasiAffineBound):
+        inner = ", ".join(_affine_to_py(e) for e in value.exprs)
+        combiner = "min" if value.kind == "min" else "max"
+        if len(value.exprs) == 1:
+            return f"{rounding}({inner})"
+        return f"{rounding}({combiner}({inner}))"
+    raise TypeError(f"unsupported bound type {type(value).__name__}")
+
+
+def _expr_to_py(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        return repr(float(expr.value))
+    if isinstance(expr, Iter):
+        return expr.name
+    if isinstance(expr, AffineValue):
+        return f"({_affine_to_py(expr.expr)})"
+    if isinstance(expr, Load):
+        return _load_to_py(expr)
+    if isinstance(expr, BinOp):
+        return f"({_expr_to_py(expr.lhs)} {expr.op} {_expr_to_py(expr.rhs)})"
+    if isinstance(expr, Call):
+        args = ", ".join(_expr_to_py(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    raise TypeError(f"cannot emit expression of type {type(expr).__name__}")
+
+
+def _load_to_py(load: Load) -> str:
+    indices = ", ".join(f"_idx({_affine_to_py(i)})" for i in load.indices)
+    return f"{load.array.name}[{indices}]"
+
+
+class _Emitter:
+    def __init__(self, program: Program, check_domains: bool) -> None:
+        self.program = program
+        self.check_domains = check_domains
+        self.lines: List[str] = []
+        self.symbol_definitions = dict(program.symbol_definitions or {})
+        self._emitted_symbols: List[Set[str]] = [set()]
+
+    # -- helpers ---------------------------------------------------------------
+    def emit(self, line: str, depth: int) -> None:
+        self.lines.append(f"{_INDENT * depth}{line}")
+
+    def _emit_symbols(self, bound: Set[str], depth: int) -> None:
+        """Define derived symbols whose free variables are all in scope."""
+        already = set().union(*self._emitted_symbols)
+        for name, definition in self.symbol_definitions.items():
+            if name in already:
+                continue
+            if isinstance(definition, QuasiAffineBound):
+                free = {v for e in definition.exprs for v in e.variables}
+                code = _bound_to_py(definition, is_lower=(definition.kind == "max"))
+            elif isinstance(definition, AffineExpr):
+                free = set(definition.variables)
+                code = f"_idx({_affine_to_py(definition)})"
+            else:
+                raise TypeError(
+                    f"unsupported symbol definition type {type(definition).__name__}"
+                )
+            if free <= bound:
+                self.emit(f"{name} = {code}", depth)
+                self._emitted_symbols[-1].add(name)
+
+    # -- node emission ------------------------------------------------------------
+    def emit_node(self, node: Node, depth: int, bound: Set[str]) -> None:
+        if isinstance(node, BlockNode):
+            if not node.body:
+                self.emit("pass", depth)
+                return
+            for child in node.body:
+                self.emit_node(child, depth, bound)
+        elif isinstance(node, LoopNode):
+            low = _bound_to_py(node.lower, is_lower=True)
+            high = _bound_to_py(node.upper, is_lower=False)
+            step = f", {node.step}" if node.step != 1 else ""
+            self.emit(f"for {node.iterator} in range({low}, ({high}) + 1{step}):", depth)
+            inner_bound = bound | {node.iterator}
+            self._emitted_symbols.append(set())
+            self._emit_symbols(inner_bound, depth + 1)
+            new_bound = inner_bound | self._emitted_symbols[-1]
+            self.emit_node(node.body, depth + 1, new_bound)
+            self._emitted_symbols.pop()
+        elif isinstance(node, GuardNode):
+            conditions = []
+            for constraint in node.constraints:
+                op = "==" if constraint.is_equality else ">="
+                conditions.append(f"({_affine_to_py(constraint.expr)}) {op} 0")
+            self.emit(f"if {' and '.join(conditions) or 'True'}:", depth)
+            self.emit_node(node.body, depth + 1, bound)
+        elif isinstance(node, StatementNode):
+            self._emit_statement(node, depth, bound)
+        elif isinstance(node, SyncNode):
+            self.emit(f"pass  # sync({node.scope})", depth)
+        else:
+            raise TypeError(f"cannot emit node of type {type(node).__name__}")
+
+    def _emit_statement(self, node: StatementNode, depth: int, bound: Set[str]) -> None:
+        statement = node.statement
+        if self.check_domains and statement.domain.constraints:
+            conditions = []
+            for constraint in statement.domain.constraints:
+                op = "==" if constraint.is_equality else ">="
+                conditions.append(f"({_affine_to_py(constraint.expr)}) {op} 0")
+            self.emit(f"if {' and '.join(conditions)}:", depth)
+            depth += 1
+        lhs = _load_to_py(statement.lhs)
+        rhs = _expr_to_py(statement.rhs)
+        if statement.reduction in ("+", "*"):
+            self.emit(f"{lhs} {statement.reduction}= {rhs}", depth)
+        elif statement.reduction in ("min", "max"):
+            self.emit(f"{lhs} = {statement.reduction}({lhs}, {rhs})", depth)
+        else:
+            self.emit(f"{lhs} = {rhs}", depth)
+
+
+def emit_python_source(
+    program: Program, func_name: str = "kernel", check_domains: bool = True
+) -> str:
+    """Emit the program as Python source defining ``func_name(arrays, params)``."""
+    emitter = _Emitter(program, check_domains)
+    emitter.emit("from fractions import Fraction", 0)
+    emitter.emit("", 0)
+    emitter.emit("def _idx(value):", 0)
+    emitter.emit("    return int(value)", 0)
+    emitter.emit("", 0)
+    emitter.emit("def _ceil(value):", 0)
+    emitter.emit("    frac = Fraction(value)", 0)
+    emitter.emit("    return -((-frac.numerator) // frac.denominator)", 0)
+    emitter.emit("", 0)
+    emitter.emit("def _floor(value):", 0)
+    emitter.emit("    frac = Fraction(value)", 0)
+    emitter.emit("    return frac.numerator // frac.denominator", 0)
+    emitter.emit("", 0)
+    emitter.emit(f"def {func_name}(arrays, params):", 0)
+    bound: Set[str] = set()
+    for param in program.params:
+        emitter.emit(f"{param} = params[{param!r}]", 1)
+        bound.add(param)
+    for array in program.arrays.values():
+        emitter.emit(f"{array.name} = arrays[{array.name!r}]", 1)
+    emitter._emit_symbols(bound, 1)
+    bound = bound | emitter._emitted_symbols[-1]
+    if not program.body.body:
+        emitter.emit("pass", 1)
+    else:
+        emitter.emit_node(program.body, 1, bound)
+    return "\n".join(emitter.lines) + "\n"
+
+
+def compile_to_python(
+    program: Program, check_domains: bool = True
+) -> Callable[[Mapping[str, "object"], Mapping[str, int]], None]:
+    """Compile the program into an executable Python function.
+
+    The returned callable mutates the provided numpy arrays in place.
+    """
+    source = emit_python_source(program, "kernel", check_domains)
+    namespace: Dict[str, object] = {}
+    exec(compile(source, f"<generated:{program.name}>", "exec"), namespace)
+    return namespace["kernel"]  # type: ignore[return-value]

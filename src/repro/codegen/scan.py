@@ -1,0 +1,92 @@
+"""Scanning a single polyhedron into a loop nest.
+
+``scan_polyhedron(P, order)`` produces nested :class:`~repro.ir.ast.LoopNode`
+objects whose bounds are the parametric projections of ``P`` onto successive
+prefixes of *order*: the loop for dimension ``d_k`` has bounds that may depend
+on parameters and on the outer dimensions ``d_1 .. d_{k-1}`` — precisely the
+loop nests CLooG generates for a single domain.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.ir.ast import BlockNode, LoopNode, Node
+from repro.polyhedral import fourier_motzkin as fm
+from repro.polyhedral.parametric import QuasiAffineBound
+from repro.polyhedral.polyhedron import Polyhedron
+
+
+def loop_bounds_for(
+    polyhedron: Polyhedron, dim: str, outer: Sequence[str]
+) -> tuple:
+    """Bounds of *dim* as quasi-affine expressions of params and *outer* dims."""
+    keep = list(polyhedron.params) + [d for d in outer if d != dim]
+    lowers, uppers = fm.bounds_for_variable(polyhedron.constraints, dim, keep)
+    if not lowers or not uppers:
+        raise ValueError(
+            f"dimension {dim!r} of {polyhedron!r} is unbounded; cannot generate a loop"
+        )
+    lower = QuasiAffineBound("max", tuple(expr / coeff for expr, coeff in lowers))
+    upper = QuasiAffineBound("min", tuple(expr / coeff for expr, coeff in uppers))
+    return _simplify(lower), _simplify(upper)
+
+
+def _simplify(bound: QuasiAffineBound):
+    """Collapse single-candidate bounds to a plain affine expression."""
+    if bound.is_single:
+        return bound.as_single_expr()
+    # When all candidates differ by constants the min/max is decidable
+    # statically; pick the right representative.
+    exprs = list(bound.exprs)
+    reference = exprs[0]
+    best = reference
+    for expr in exprs[1:]:
+        difference = expr - best
+        if not difference.is_constant():
+            return bound
+        if bound.kind == "min" and difference.constant < 0:
+            best = expr
+        elif bound.kind == "max" and difference.constant > 0:
+            best = expr
+    return best
+
+
+def scan_polyhedron(
+    polyhedron: Polyhedron,
+    body_factory: Callable[[], Node],
+    dim_order: Optional[Sequence[str]] = None,
+) -> Node:
+    """Generate a loop nest scanning *polyhedron*, with *body_factory()* inside.
+
+    ``body_factory`` is called once and its result placed in the innermost
+    loop body.  Zero-dimensional polyhedra return the body directly.
+    """
+    order = list(dim_order) if dim_order is not None else list(polyhedron.dims)
+    if set(order) != set(polyhedron.dims):
+        raise ValueError(
+            f"dim_order {order} must be a permutation of the polyhedron dims "
+            f"{polyhedron.dims}"
+        )
+    body: Node = body_factory()
+    # Build loops inside-out.
+    for depth in range(len(order) - 1, -1, -1):
+        dim = order[depth]
+        outer = order[:depth]
+        lower, upper = loop_bounds_for(polyhedron, dim, outer)
+        inner = body if isinstance(body, BlockNode) else BlockNode([body])
+        body = LoopNode(iterator=dim, lower=lower, upper=upper, body=inner)
+    return body
+
+
+def loop_nest_for(
+    polyhedron: Polyhedron, dim_order: Optional[Sequence[str]] = None
+) -> tuple:
+    """Like :func:`scan_polyhedron` but returns ``(outermost, innermost_block)``.
+
+    Useful when the caller wants to fill the innermost body after building the
+    nest.
+    """
+    innermost = BlockNode()
+    nest = scan_polyhedron(polyhedron, lambda: innermost, dim_order)
+    return nest, innermost

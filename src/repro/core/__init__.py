@@ -1,0 +1,12 @@
+"""End-to-end compilation pipeline (the paper's system, assembled).
+
+:class:`~repro.core.pipeline.MappingPipeline` chains the pieces the paper
+describes: parallelism detection (bands), multi-level tiling, scratchpad data
+management with copy-code placement, launch-geometry selection and workload
+extraction for the machine models.
+"""
+
+from repro.core.options import MappingOptions
+from repro.core.pipeline import MappedKernel, MappingPipeline
+
+__all__ = ["MappingOptions", "MappedKernel", "MappingPipeline"]

@@ -1,0 +1,52 @@
+"""Options controlling the end-to-end mapping pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.scratchpad.reuse import DEFAULT_DELTA
+
+
+@dataclass
+class MappingOptions:
+    """Knobs of :class:`~repro.core.pipeline.MappingPipeline`.
+
+    Attributes
+    ----------
+    num_blocks:
+        Total number of outer-level parallel processes (thread blocks).
+    threads_per_block:
+        Inner-level processes per block (``P`` in the cost model; the paper
+        uses multiples of the warp size, 32).
+    tile_sizes:
+        Explicit memory-level tile sizes per original loop.  ``None`` runs the
+        Section-4.3 tile-size search instead.
+    use_scratchpad:
+        Disable to obtain the "GPU without scratchpad" baseline of Figs. 4–5.
+    delta:
+        Algorithm-1 overlap threshold.
+    target:
+        ``"gpu"`` or ``"cell"`` staging policy.
+    hoisting:
+        Account for Section-4.2 hoisting of copy code out of redundant loops.
+    liveness:
+        Enable the Section-3.1.4 copy minimisation (extension).
+    """
+
+    num_blocks: int = 32
+    threads_per_block: int = 256
+    tile_sizes: Optional[Dict[str, int]] = None
+    use_scratchpad: bool = True
+    delta: float = DEFAULT_DELTA
+    target: str = "gpu"
+    hoisting: bool = True
+    liveness: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        if self.threads_per_block <= 0:
+            raise ValueError("threads_per_block must be positive")
+        if not 0 <= self.delta <= 1:
+            raise ValueError("delta must lie in [0, 1]")

@@ -1,0 +1,93 @@
+"""C-like pretty printing of programs and loop ASTs.
+
+The original system was a source-to-source compiler emitting CUDA C; in this
+reproduction the generated programs are executed by the interpreter and the
+machine model, but a readable C-like rendering is still invaluable for
+inspection, documentation and tests (the worked example of the paper's Fig. 1
+is checked against this printer's output structure).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.ast import (
+    BLOCK_PARALLEL,
+    THREAD_PARALLEL,
+    BlockNode,
+    GuardNode,
+    LoopNode,
+    Node,
+    StatementNode,
+    SyncNode,
+)
+from repro.ir.program import Program
+from repro.ir.statements import Statement
+
+_INDENT = "  "
+
+
+def statement_to_c(statement: Statement) -> str:
+    """Render one statement as a C-like assignment."""
+    lhs = str(statement.lhs)
+    rhs = str(statement.rhs)
+    if statement.reduction:
+        return f"{lhs} {statement.reduction}= {rhs};"
+    return f"{lhs} = {rhs};"
+
+
+def ast_to_c(node: Node, indent: int = 0) -> str:
+    """Render a loop-structure AST as C-like text."""
+    lines = _render(node, indent)
+    return "\n".join(lines)
+
+
+def _render(node: Node, indent: int) -> List[str]:
+    pad = _INDENT * indent
+    if isinstance(node, BlockNode):
+        lines: List[str] = []
+        for child in node.body:
+            lines.extend(_render(child, indent))
+        return lines
+    if isinstance(node, LoopNode):
+        keyword = "for"
+        if node.parallel == BLOCK_PARALLEL:
+            keyword = "forall_blocks"
+        elif node.parallel == THREAD_PARALLEL:
+            keyword = "forall_threads"
+        step = f"; {node.iterator} += {node.step}" if node.step != 1 else f"; {node.iterator}++"
+        header = (
+            f"{pad}{keyword} ({node.iterator} = {node.lower}; "
+            f"{node.iterator} <= {node.upper}{step}) {{"
+        )
+        lines = [header]
+        lines.extend(_render(node.body, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(node, GuardNode):
+        condition = " && ".join(f"({c.expr} {'==' if c.is_equality else '>='} 0)" for c in node.constraints)
+        lines = [f"{pad}if ({condition}) {{"]
+        lines.extend(_render(node.body, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(node, StatementNode):
+        comment = "" if node.kind == "compute" else f"  /* {node.kind} */"
+        return [f"{pad}{statement_to_c(node.statement)}{comment}"]
+    if isinstance(node, SyncNode):
+        call = "__syncthreads()" if node.scope == "threads" else "__global_sync()"
+        return [f"{pad}{call};"]
+    raise TypeError(f"cannot render node of type {type(node).__name__}")
+
+
+def program_to_c(program: Program) -> str:
+    """Render a whole program: array declarations followed by the body."""
+    lines: List[str] = [f"/* program: {program.name} */"]
+    if program.params:
+        lines.append(f"/* parameters: {', '.join(program.params)} */")
+    for array in program.arrays.values():
+        extents = "".join(f"[{extent}]" for extent in array.shape)
+        qualifier = "__shared__ " if array.is_local else ""
+        lines.append(f"{qualifier}{array.dtype} {array.name}{extents};")
+    lines.append("")
+    lines.append(ast_to_c(program.body))
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Evaluation workloads (paper Section 6) expressed with the public API.
+
+* :mod:`repro.kernels.mpeg4_me` — MPEG-4 motion estimation (no cross-block
+  synchronisation; Figs. 4 and 6);
+* :mod:`repro.kernels.jacobi1d` — 1-D Jacobi, time-tiled with concurrent start
+  (cross-block synchronisation every time tile; Figs. 5, 7 and 8);
+* :mod:`repro.kernels.matmul`, :mod:`repro.kernels.conv2d` — additional
+  workloads used by examples, tests and the ablation benchmarks.
+
+Each kernel module provides (a) a builder returning an IR program for
+functional verification at small sizes and (b) a workload model producing the
+:class:`~repro.machine.gpu.BlockWorkload` / launch geometry for the large
+problem sizes of the paper's figures.
+"""
+
+from repro.kernels.mpeg4_me import (
+    ME_PROBLEM_SIZES,
+    MEWorkloadModel,
+    build_me_program,
+)
+from repro.kernels.jacobi1d import (
+    JACOBI_PROBLEM_SIZES,
+    JacobiWorkloadModel,
+    build_jacobi_sweep_program,
+    build_jacobi_time_program,
+)
+from repro.kernels.matmul import build_matmul_program
+from repro.kernels.conv2d import build_conv2d_program
+
+__all__ = [
+    "ME_PROBLEM_SIZES",
+    "MEWorkloadModel",
+    "build_me_program",
+    "JACOBI_PROBLEM_SIZES",
+    "JacobiWorkloadModel",
+    "build_jacobi_sweep_program",
+    "build_jacobi_time_program",
+    "build_matmul_program",
+    "build_conv2d_program",
+]

@@ -1,0 +1,34 @@
+"""2-D convolution — a stencil-like workload with constant reuse.
+
+``Out[i][j] = Σ_{k,l} In[i+k][j+l] · W[k][l]``: the input-window accesses of
+neighbouring output points overlap heavily, exercising both the
+order-of-magnitude reuse test (the weight array) and the overlap-volume test
+of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+
+def build_conv2d_program(height: int, width: int, kernel: int = 3) -> Program:
+    """``Out (H×W) = In ((H+K)×(W+K)) ⊛ W (K×K)`` as an IR program."""
+    if min(height, width, kernel) <= 0:
+        raise ValueError("dimensions must be positive")
+    builder = ProgramBuilder("conv2d")
+    image = builder.array("In", (height + kernel, width + kernel))
+    weights = builder.array("W", (kernel, kernel))
+    out = builder.array("Out", (height, width))
+    i, j, k, l = (builder.var(name) for name in ("i", "j", "k", "l"))
+    with builder.loop("i", 0, height - 1):
+        with builder.loop("j", 0, width - 1):
+            with builder.loop("k", 0, kernel - 1):
+                with builder.loop("l", 0, kernel - 1):
+                    builder.assign(
+                        out[i, j],
+                        image[i + k, j + l] * weights[k, l],
+                        reduction="+",
+                        name="conv_update",
+                    )
+    return builder.build()

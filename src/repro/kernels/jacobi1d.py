@@ -1,0 +1,169 @@
+"""1-D Jacobi kernel, time-tiled with concurrent start.
+
+The paper runs a 1-D Jacobi stencil for 4096 time steps; the space loop is
+tiled across thread blocks, the time loop is tiled (time tile 32) and — using
+the transformation of Krishnamoorthy et al. [27] — the tiles are reshaped so
+that all blocks can start concurrently.  Every time tile ends with a
+synchronisation across all thread blocks (modelled as a kernel relaunch).
+
+``build_jacobi_sweep_program`` / ``build_jacobi_time_program`` express the
+kernel in the IR for functional verification and for exercising dependence
+analysis, skewing and the scratchpad framework.  :class:`JacobiWorkloadModel`
+produces the workload descriptors for the paper's problem sizes using the
+overlapped-tile geometry of [27]: a block staging a space tile of ``B``
+elements for a time tile of ``T_t`` steps must load ``B + 2·T_t`` elements
+(halo grows with the time tile) and performs ``Σ_s (B + 2·(T_t − s))``
+updates, i.e. redundant computation in exchange for fewer global
+synchronisations — the trade-off Figs. 7 and 8 explore.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.machine.cpu import CPUWorkload
+from repro.machine.gpu import BlockWorkload
+from repro.tiling.mapping import LaunchGeometry
+
+#: Paper problem sizes (elements) for Figs. 5, 7 and 8.
+JACOBI_PROBLEM_SIZES: Dict[str, int] = {
+    "8k": 8 * 1024,
+    "16k": 16 * 1024,
+    "32k": 32 * 1024,
+    "64k": 64 * 1024,
+    "128k": 128 * 1024,
+    "256k": 256 * 1024,
+    "512k": 512 * 1024,
+}
+
+DEFAULT_TIME_STEPS = 4096
+
+
+def build_jacobi_sweep_program(size: int) -> Program:
+    """One Jacobi sweep ``B[i] = (A[i-1] + A[i] + A[i+1]) / 3`` over ``i in [1, N]``."""
+    if size <= 2:
+        raise ValueError("size must exceed 2")
+    builder = ProgramBuilder("jacobi1d_sweep")
+    a = builder.array("A", (size + 2,))
+    b = builder.array("B", (size + 2,))
+    i = builder.var("i")
+    with builder.loop("i", 1, size):
+        builder.assign(b[i], (a[i - 1] + a[i] + a[i + 1]) / 3, name="sweep")
+    return builder.build()
+
+
+def build_jacobi_time_program(size: int, time_steps: int) -> Program:
+    """Time-iterated Jacobi ``A[t+1][i] = avg(A[t][i-1..i+1])`` (small sizes only).
+
+    The 2-D array over (time, space) keeps the program affine without modulo
+    indexing; it is meant for functional verification and for the dependence /
+    skewing tests, not for the large experiment sizes.
+    """
+    if size <= 2 or time_steps <= 0:
+        raise ValueError("size must exceed 2 and time_steps must be positive")
+    builder = ProgramBuilder("jacobi1d_time")
+    a = builder.array("A", (time_steps + 1, size + 2))
+    t, i = builder.var("t"), builder.var("i")
+    with builder.loop("t", 0, time_steps - 1):
+        with builder.loop("i", 1, size):
+            builder.assign(
+                a[t + 1, i], (a[t, i - 1] + a[t, i] + a[t, i + 1]) / 3, name="update"
+            )
+    return builder.build()
+
+
+@dataclass
+class JacobiWorkloadModel:
+    """Workload model for the time-tiled, concurrently-started Jacobi kernel."""
+
+    size: int
+    time_steps: int = DEFAULT_TIME_STEPS
+    num_blocks: int = 128
+    threads_per_block: int = 64
+    time_tile: int = 32
+    space_tile: int = 0  # 0 → problem size divided evenly across blocks
+    element_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size <= 2:
+            raise ValueError("size must exceed 2")
+        if self.time_tile <= 0:
+            raise ValueError("time_tile must be positive")
+        if self.space_tile == 0:
+            self.space_tile = math.ceil(self.size / self.num_blocks)
+
+    # -- geometry -----------------------------------------------------------------
+    @property
+    def time_tiles(self) -> int:
+        """Number of time tiles — each ends with a device-wide synchronisation."""
+        return math.ceil(self.time_steps / self.time_tile)
+
+    @property
+    def space_tiles_per_block(self) -> int:
+        total_tiles = math.ceil(self.size / self.space_tile)
+        return max(1, math.ceil(total_tiles / self.num_blocks))
+
+    def staged_elements_per_tile(self) -> int:
+        """Elements a block stages per (space tile, time tile): tile + halo, double-buffered."""
+        return 2 * (self.space_tile + 2 * self.time_tile)
+
+    def shared_bytes_per_block(self) -> int:
+        return self.staged_elements_per_tile() * self.element_size
+
+    def updates_per_tile(self) -> float:
+        """Stencil updates one overlapped tile performs (includes redundant halo work)."""
+        total = 0.0
+        for step in range(self.time_tile):
+            total += self.space_tile + 2 * (self.time_tile - step - 1)
+        return total
+
+    # -- workloads -----------------------------------------------------------------
+    def block_workload(self, use_scratchpad: bool = True) -> BlockWorkload:
+        tiles = self.space_tiles_per_block * self.time_tiles
+        if use_scratchpad:
+            instances = self.updates_per_tile() * tiles
+            copy_in = (self.space_tile + 2 * self.time_tile) * tiles
+            copy_out = self.space_tile * tiles
+            return BlockWorkload(
+                compute_instances=instances,
+                global_accesses_per_instance=0.0,
+                shared_accesses_per_instance=4.0,  # three reads + one write
+                copy_in_elements=float(copy_in),
+                copy_out_elements=float(copy_out),
+                copy_occurrences=float(2 * tiles),
+                extra_block_syncs=float(self.time_tile * tiles),
+                element_size=self.element_size,
+            )
+        # Without the scratchpad every sweep reads/writes global memory and the
+        # blocks must synchronise after every single time step.
+        instances = float(self.space_tile * self.space_tiles_per_block) * self.time_steps
+        return BlockWorkload(
+            compute_instances=instances,
+            global_accesses_per_instance=4.0,
+            shared_accesses_per_instance=0.0,
+            element_size=self.element_size,
+        )
+
+    def geometry(self, use_scratchpad: bool = True) -> LaunchGeometry:
+        return LaunchGeometry(
+            num_blocks=self.num_blocks,
+            threads_per_block=self.threads_per_block,
+            shared_memory_per_block_bytes=self.shared_bytes_per_block()
+            if use_scratchpad
+            else 0,
+        )
+
+    def global_sync_rounds(self, use_scratchpad: bool = True) -> int:
+        """Device-wide synchronisations: one per time tile (or per step without staging)."""
+        return self.time_tiles if use_scratchpad else self.time_steps
+
+    def cpu_workload(self) -> CPUWorkload:
+        return CPUWorkload(
+            compute_instances=float(self.size) * self.time_steps,
+            accesses_per_instance=4.0,
+            working_set_bytes=2 * self.size * self.element_size,
+        )

@@ -1,0 +1,28 @@
+"""Dense matrix multiplication — an additional reuse-heavy workload.
+
+``C[i][j] += A[i][k] · B[k][j]``: every access function is rank-deficient with
+respect to the three-dimensional iteration space, so Algorithm 1 stages all
+three arrays; used by the examples, the property tests and the δ-threshold
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+
+def build_matmul_program(m: int, n: int, k: int) -> Program:
+    """``C (m×n) += A (m×k) · B (k×n)`` as an IR program."""
+    if min(m, n, k) <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    builder = ProgramBuilder("matmul")
+    a = builder.array("A", (m, k))
+    b = builder.array("B", (k, n))
+    c = builder.array("C", (m, n))
+    i, j, kk = builder.var("i"), builder.var("j"), builder.var("k")
+    with builder.loop("i", 0, m - 1):
+        with builder.loop("j", 0, n - 1):
+            with builder.loop("k", 0, k - 1):
+                builder.assign(c[i, j], a[i, kk] * b[kk, j], reduction="+", name="mac")
+    return builder.build()

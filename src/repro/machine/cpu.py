@@ -1,0 +1,51 @@
+"""Analytical performance model of the sequential CPU baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.machine.memory import cpu_access_cycles
+from repro.machine.spec import CPUSpec, REFERENCE_CPU
+
+
+@dataclass
+class CPUWorkload:
+    """What the sequential CPU version of a kernel executes."""
+
+    #: total statement instances
+    compute_instances: float
+    #: memory accesses per instance
+    accesses_per_instance: float
+    #: bytes of data the inner working set streams over (determines hit rate)
+    working_set_bytes: float
+    element_size: int = 4
+
+
+class CPUPerformanceModel:
+    """Prices a sequential kernel execution on a :class:`CPUSpec`."""
+
+    def __init__(self, spec: CPUSpec = REFERENCE_CPU) -> None:
+        self.spec = spec
+
+    def execution_time_us(self, workload: CPUWorkload) -> float:
+        spec = self.spec
+        access_cost = cpu_access_cycles(spec, workload.working_set_bytes)
+        cycles = workload.compute_instances * (
+            spec.compute_cycles_per_instance
+            + workload.accesses_per_instance * access_cost
+        )
+        return cycles / spec.cycles_per_us
+
+    def execution_time_ms(self, workload: CPUWorkload) -> float:
+        return self.execution_time_us(workload) / 1000.0
+
+    def breakdown(self, workload: CPUWorkload) -> Dict[str, float]:
+        spec = self.spec
+        access_cost = cpu_access_cycles(spec, workload.working_set_bytes)
+        return {
+            "compute": workload.compute_instances * spec.compute_cycles_per_instance,
+            "memory": workload.compute_instances
+            * workload.accesses_per_instance
+            * access_cost,
+        }

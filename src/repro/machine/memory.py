@@ -1,0 +1,57 @@
+"""Memory-system helpers shared by the GPU and CPU models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import CPUSpec, GPUSpec
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Derived memory-cost quantities for a GPU specification."""
+
+    spec: GPUSpec
+
+    def scratchpad_fits(self, bytes_per_block: int, blocks_per_multiprocessor: int = 1) -> bool:
+        """Can the given number of blocks share one multiprocessor's scratchpad?"""
+        if blocks_per_multiprocessor <= 0:
+            raise ValueError("blocks_per_multiprocessor must be positive")
+        return bytes_per_block * blocks_per_multiprocessor <= self.spec.shared_memory_per_multiprocessor
+
+    def memory_limit_per_block(self, blocks_per_multiprocessor: int = 1) -> int:
+        """Scratchpad bytes available to one block when sharing a multiprocessor.
+
+        This is the paper's ``M_up``: the total capacity divided by the number
+        of processes assigned to the same outer-level processor (for kernels
+        that need synchronisation across blocks and therefore keep all blocks
+        resident), or the full capacity otherwise.
+        """
+        if blocks_per_multiprocessor <= 0:
+            raise ValueError("blocks_per_multiprocessor must be positive")
+        return self.spec.shared_memory_per_multiprocessor // blocks_per_multiprocessor
+
+    def dma_cycles(self, elements: int, threads: int) -> float:
+        """Cycles to move *elements* between DRAM and scratchpad with *threads* helpers."""
+        if elements <= 0:
+            return 0.0
+        threads = max(min(threads, self.spec.warp_size * 16), 1)
+        return elements * self.spec.dma_cycles_per_element / threads
+
+
+def cpu_access_cycles(spec: CPUSpec, working_set_bytes: float) -> float:
+    """Average cycles per access for a working set of the given size.
+
+    A simple capacity model: working sets within the L2 capacity hit in cache;
+    larger working sets pay DRAM latency on the fraction of accesses that
+    exceed the cache (one miss per cache line of streamed data).
+    """
+    if working_set_bytes <= spec.l2_cache_bytes:
+        return spec.cache_hit_cycles
+    # Streaming behaviour: one DRAM access per cache line, the rest hit.
+    elements_per_line = spec.cache_line_bytes / 4.0
+    miss_fraction = 1.0 / elements_per_line
+    return (
+        miss_fraction * spec.dram_access_cycles
+        + (1.0 - miss_fraction) * spec.cache_hit_cycles
+    )

@@ -1,0 +1,142 @@
+"""Affine constraints (equalities and inequalities) over named variables.
+
+A :class:`Constraint` wraps an :class:`~repro.polyhedral.affine.AffineExpr`
+``e`` and means either ``e >= 0`` (inequality) or ``e == 0`` (equality).
+Constraints are normalised to integer coefficients divided by their gcd so
+that syntactically equal constraints compare and hash equal — this is what
+keeps Fourier–Motzkin elimination from drowning in duplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.polyhedral.affine import AffineExpr, ExprLike
+from repro.utils.frac import as_fraction, gcd_many, lcm_many
+
+Number = Union[int, Fraction]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr >= 0`` (default) or ``expr == 0`` over named variables."""
+
+    expr: AffineExpr
+    is_equality: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "expr", self._normalise(self.expr, self.is_equality))
+
+    @staticmethod
+    def _normalise(expr: AffineExpr, is_equality: bool) -> AffineExpr:
+        coeffs = expr.coefficients
+        constant = expr.constant
+        denominators = [c.denominator for c in coeffs.values()] + [constant.denominator]
+        scale = Fraction(lcm_many(denominators))
+        coeffs = {k: v * scale for k, v in coeffs.items()}
+        constant = constant * scale
+        numerators = [abs(int(c)) for c in coeffs.values()] + [abs(int(constant))]
+        divisor = gcd_many(numerators)
+        if divisor > 1:
+            coeffs = {k: v / divisor for k, v in coeffs.items()}
+            constant = constant / divisor
+        # Canonical sign for equalities: first non-zero coefficient positive.
+        if is_equality:
+            ordered = sorted(coeffs)
+            flip = False
+            for name in ordered:
+                if coeffs[name] != 0:
+                    flip = coeffs[name] < 0
+                    break
+            else:
+                flip = constant < 0
+            if flip:
+                coeffs = {k: -v for k, v in coeffs.items()}
+                constant = -constant
+        return AffineExpr(coeffs, constant)
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def greater_equal(cls, lhs: ExprLike, rhs: ExprLike = 0) -> "Constraint":
+        """Constraint ``lhs >= rhs``."""
+        return cls(AffineExpr.coerce(lhs) - AffineExpr.coerce(rhs), is_equality=False)
+
+    @classmethod
+    def less_equal(cls, lhs: ExprLike, rhs: ExprLike = 0) -> "Constraint":
+        """Constraint ``lhs <= rhs``."""
+        return cls(AffineExpr.coerce(rhs) - AffineExpr.coerce(lhs), is_equality=False)
+
+    @classmethod
+    def equals(cls, lhs: ExprLike, rhs: ExprLike = 0) -> "Constraint":
+        """Constraint ``lhs == rhs``."""
+        return cls(AffineExpr.coerce(lhs) - AffineExpr.coerce(rhs), is_equality=True)
+
+    @classmethod
+    def bounds(cls, name: str, lower: ExprLike, upper: ExprLike) -> Tuple["Constraint", "Constraint"]:
+        """The pair ``name >= lower`` and ``name <= upper``."""
+        var = AffineExpr.var(name)
+        return cls.greater_equal(var, lower), cls.less_equal(var, upper)
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return self.expr.variables
+
+    def coefficient(self, name: str) -> Fraction:
+        return self.expr.coefficient(name)
+
+    def involves(self, names: Iterable[str]) -> bool:
+        return self.expr.depends_on(names)
+
+    def is_trivially_true(self) -> bool:
+        """Constant constraint that always holds (e.g. ``3 >= 0`` or ``0 == 0``)."""
+        if not self.expr.is_constant():
+            return False
+        if self.is_equality:
+            return self.expr.constant == 0
+        return self.expr.constant >= 0
+
+    def is_trivially_false(self) -> bool:
+        """Constant constraint that can never hold (e.g. ``-1 >= 0``)."""
+        if not self.expr.is_constant():
+            return False
+        if self.is_equality:
+            return self.expr.constant != 0
+        return self.expr.constant < 0
+
+    # -- evaluation / substitution ------------------------------------------------
+    def satisfied_by(self, binding: Mapping[str, Number]) -> bool:
+        """Check the constraint at a fully bound point."""
+        value = self.expr.evaluate(binding)
+        return value == 0 if self.is_equality else value >= 0
+
+    def substitute(self, binding: Mapping[str, ExprLike]) -> "Constraint":
+        return Constraint(self.expr.substitute(binding), self.is_equality)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        return Constraint(self.expr.rename(mapping), self.is_equality)
+
+    def negate(self) -> "Constraint":
+        """Integer negation of an inequality: ``e >= 0`` becomes ``-e - 1 >= 0``.
+
+        Only valid for integer points; equalities cannot be negated into a
+        single convex constraint and raise ``ValueError``.
+        """
+        if self.is_equality:
+            raise ValueError("the negation of an equality is not a single constraint")
+        return Constraint(-self.expr - 1, is_equality=False)
+
+    def as_pair_of_inequalities(self) -> Tuple["Constraint", ...]:
+        """Equalities become (e >= 0, -e >= 0); inequalities are returned as-is."""
+        if not self.is_equality:
+            return (self,)
+        return (
+            Constraint(self.expr, is_equality=False),
+            Constraint(-self.expr, is_equality=False),
+        )
+
+    def __str__(self) -> str:
+        op = "==" if self.is_equality else ">="
+        return f"{self.expr} {op} 0"

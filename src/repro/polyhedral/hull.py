@@ -1,0 +1,336 @@
+"""Convex and rectangular unions of data spaces.
+
+Algorithm 2 of the paper encloses each partition of accessed data spaces in
+its *convex union* and then only ever uses the per-dimension lower/upper
+bounds of that hull to size the local buffer and to compute the remapping
+offset ``g``.  Two constructions are provided:
+
+* :func:`rectangular_hull` — the bounding box of the union with parametric
+  per-dimension bounds.  Because the buffer size and offsets depend only on
+  per-dimension bounds, the rectangular hull allocates exactly the same buffer
+  the paper's convex union would, while remaining well-defined for parametric
+  data spaces (tile-origin parameters).  When the lower bounds of different
+  member spaces are incomparable symbolically, the hull is conservative
+  (never smaller than the true union box), which preserves correctness of the
+  allocation and of the remapped accesses.
+
+* :func:`convex_union_vertices` — the true convex hull of the union for fully
+  specialised (non-parametric) spaces, used by tests and by the worked
+  example of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.polyhedral.counting import enumerate_integer_points
+from repro.utils.frac import fraction_floor
+from repro.polyhedral.parametric import ParametricBound, QuasiAffineBound, parametric_bounds
+from repro.polyhedral.polyhedron import Polyhedron
+
+Number = Union[int, Fraction]
+
+
+class RectangularHull:
+    """Bounding box of a union of polyhedra with parametric bounds.
+
+    ``context`` — an optional polyhedron over the parameters (e.g. tile-origin
+    ranges ``0 <= iT <= N-1``) — is used to resolve per-member ``max``/``min``
+    bounds to single affine expressions, mirroring the "gist against context"
+    simplification PIP and CLooG apply.
+    """
+
+    def __init__(
+        self, members: Sequence[Polyhedron], context: Optional[Polyhedron] = None
+    ) -> None:
+        self._context = context
+        if not members:
+            raise ValueError("a hull needs at least one member polyhedron")
+        dims = members[0].dims
+        for poly in members:
+            if poly.dims != dims:
+                raise ValueError(
+                    f"all member polyhedra must share dimensions; "
+                    f"{poly.dims} differs from {dims}"
+                )
+        self._members = tuple(members)
+        self._dims = dims
+        self._params = tuple(
+            dict.fromkeys(name for poly in members for name in poly.params)
+        )
+        self._member_bounds: List[Dict[str, ParametricBound]] = [
+            parametric_bounds(poly) for poly in members
+        ]
+
+    # -- accessors --------------------------------------------------------------
+    @property
+    def dims(self) -> Tuple[str, ...]:
+        return self._dims
+
+    @property
+    def params(self) -> Tuple[str, ...]:
+        return self._params
+
+    @property
+    def members(self) -> Tuple[Polyhedron, ...]:
+        return self._members
+
+    # -- symbolic bounds ----------------------------------------------------------
+    def lower_bound(self, dim: str) -> QuasiAffineBound:
+        """Conservative lower bound of the union along *dim* (a ``min`` of affines)."""
+        exprs = []
+        for bounds in self._member_bounds:
+            exprs.extend(bounds[dim].lower.exprs)
+        return QuasiAffineBound("min", tuple(exprs))
+
+    def upper_bound(self, dim: str) -> QuasiAffineBound:
+        """Conservative upper bound of the union along *dim* (a ``max`` of affines)."""
+        exprs = []
+        for bounds in self._member_bounds:
+            exprs.extend(bounds[dim].upper.exprs)
+        return QuasiAffineBound("max", tuple(exprs))
+
+    @property
+    def member_bounds(self) -> List[Dict[str, ParametricBound]]:
+        """Per-member parametric bounds (one dict per member polyhedron)."""
+        return [dict(bounds) for bounds in self._member_bounds]
+
+    def resolved_lower_bound(self, dim: str):
+        """Lower bound of the union along *dim*, resolved as far as possible.
+
+        Each member's own lower bound (a ``max``) is first resolved against
+        the context; the union bound is then the ``min`` of the per-member
+        bounds, itself resolved if possible.  The result is an
+        :class:`AffineExpr` when fully resolved, otherwise a
+        :class:`QuasiAffineBound` with ``min`` semantics.  When a member's own
+        bound cannot be resolved its candidates are flattened into the
+        ``min``, which is conservative (never larger than the true lower
+        bound) and therefore safe for buffer allocation.
+        """
+        from repro.polyhedral.parametric import resolve_quasi_affine
+
+        per_member = []
+        for bounds in self._member_bounds:
+            resolved = resolve_quasi_affine(bounds[dim].lower, self._context)
+            if isinstance(resolved, QuasiAffineBound):
+                per_member.extend(resolved.exprs)
+            else:
+                per_member.append(resolved)
+        return resolve_quasi_affine(
+            QuasiAffineBound("min", tuple(per_member)), self._context
+        )
+
+    def resolved_upper_bound(self, dim: str):
+        """Upper bound of the union along *dim* (see :meth:`resolved_lower_bound`).
+
+        Unresolvable member bounds flatten their candidates into the ``max``,
+        which is conservative (never smaller than the true upper bound).
+        """
+        from repro.polyhedral.parametric import resolve_quasi_affine
+
+        per_member = []
+        for bounds in self._member_bounds:
+            resolved = resolve_quasi_affine(bounds[dim].upper, self._context)
+            if isinstance(resolved, QuasiAffineBound):
+                per_member.extend(resolved.exprs)
+            else:
+                per_member.append(resolved)
+        return resolve_quasi_affine(
+            QuasiAffineBound("max", tuple(per_member)), self._context
+        )
+
+    def allocation_extent(self, dim: str, offset) -> Optional[int]:
+        """Static buffer extent along *dim* for a chosen remap offset.
+
+        Given the offset actually used to remap accesses (the result of
+        :meth:`resolved_lower_bound`), returns a static upper bound on
+        ``max(accessed index) - offset + 1``, i.e. the number of buffer
+        elements needed along this dimension.  Using the *same* offset for
+        allocation, remapping and copy code keeps the three consistent even
+        when the offset is conservative.  Returns ``None`` when no static
+        bound exists (callers must then supply parameter values).
+        """
+        from repro.polyhedral.parametric import _max_over_context
+
+        if isinstance(offset, QuasiAffineBound):
+            if offset.kind != "min":
+                raise ValueError("a remap offset must have 'min' semantics")
+            offset_candidates = list(offset.exprs)
+        else:
+            offset_candidates = [offset]
+
+        worst: Optional[int] = None
+        for bounds in self._member_bounds:
+            member_value: Optional[int] = None
+            for upper_expr in bounds[dim].upper.exprs:
+                # offset = min(candidates)  =>  upper - offset = max_c (upper - c)
+                candidate_value: Optional[int] = 0
+                for candidate in offset_candidates:
+                    difference = upper_expr - candidate
+                    if difference.is_constant():
+                        value = fraction_floor(difference.constant)
+                    elif self._context is not None:
+                        value = _max_over_context(difference, self._context)
+                    else:
+                        value = None
+                    if value is None:
+                        candidate_value = None
+                        break
+                    candidate_value = max(candidate_value, value)
+                if candidate_value is None:
+                    continue
+                if member_value is None or candidate_value < member_value:
+                    member_value = candidate_value
+            if member_value is None:
+                return None
+            if worst is None or member_value > worst:
+                worst = member_value
+        if worst is None:
+            return None
+        return max(worst + 1, 0)
+
+    def static_extent(self, dim: str) -> Optional[int]:
+        """A static (parameter-independent) upper bound on the extent along *dim*.
+
+        The union's extent is ``max_m(ub_m) - min_m(lb_m) + 1`` over members
+        ``m``; it is bounded by maximising, over ordered member pairs
+        ``(m1, m2)``, a static bound on ``ub_{m1} - lb_{m2} + 1`` (each of
+        which :func:`static_extent_bound` delivers from the per-candidate
+        differences).  Returns ``None`` when any pair is unbounded without
+        parameter values.
+        """
+        from repro.polyhedral.parametric import static_extent_bound
+
+        worst: Optional[int] = None
+        for upper_member in self._member_bounds:
+            for lower_member in self._member_bounds:
+                pair_extent = static_extent_bound(
+                    lower_member[dim].lower, upper_member[dim].upper, self._context
+                )
+                if pair_extent is None:
+                    return None
+                if worst is None or pair_extent > worst:
+                    worst = pair_extent
+        return worst
+
+    def extent_exprs(self) -> Optional[List]:
+        """Per-dimension symbolic extents ``ub - lb + 1`` when bounds are single affine.
+
+        Returns ``None`` when any dimension requires a genuine min/max.
+        """
+        extents = []
+        for dim in self._dims:
+            low = self.lower_bound(dim)
+            high = self.upper_bound(dim)
+            if not (low.is_single and high.is_single):
+                return None
+            extents.append(high.as_single_expr() - low.as_single_expr() + 1)
+        return extents
+
+    # -- numeric evaluation ---------------------------------------------------------
+    def evaluate_box(
+        self, param_binding: Optional[Mapping[str, Number]] = None
+    ) -> Dict[str, Tuple[int, int]]:
+        """Exact integer bounding box of the union for bound parameter values.
+
+        Evaluation is exact (per-member boxes are combined numerically) even
+        when the symbolic bounds are conservative.
+        """
+        binding = dict(param_binding or {})
+        box: Dict[str, Tuple[int, int]] = {}
+        for dim in self._dims:
+            lows: List[int] = []
+            highs: List[int] = []
+            for bounds in self._member_bounds:
+                low, high = bounds[dim].evaluate(binding)
+                if high >= low:
+                    lows.append(low)
+                    highs.append(high)
+            if not lows:
+                box[dim] = (0, -1)
+            else:
+                box[dim] = (min(lows), max(highs))
+        return box
+
+    def extents(self, param_binding: Optional[Mapping[str, Number]] = None) -> Dict[str, int]:
+        """Per-dimension extents (``0`` for empty) for bound parameter values."""
+        return {
+            dim: max(0, high - low + 1)
+            for dim, (low, high) in self.evaluate_box(param_binding).items()
+        }
+
+    def footprint(self, param_binding: Optional[Mapping[str, Number]] = None) -> int:
+        """Number of buffer elements the hull allocates (product of extents)."""
+        total = 1
+        for extent in self.extents(param_binding).values():
+            total *= extent
+        return total
+
+    def box_polyhedron(
+        self, param_binding: Optional[Mapping[str, Number]] = None
+    ) -> Polyhedron:
+        """The bounding box as a (non-parametric) polyhedron."""
+        box = self.evaluate_box(param_binding)
+        return Polyhedron.from_bounds(
+            {dim: (low, high) for dim, (low, high) in box.items()},
+            dim_order=self._dims,
+        )
+
+    def __repr__(self) -> str:
+        bounds = ", ".join(
+            f"{self.lower_bound(d)} <= {d} <= {self.upper_bound(d)}" for d in self._dims
+        )
+        return f"RectangularHull({bounds})"
+
+
+def rectangular_hull(
+    members: Sequence[Polyhedron], context: Optional[Polyhedron] = None
+) -> RectangularHull:
+    """Bounding-box hull of a union of polyhedra (see module docstring)."""
+    return RectangularHull(members, context)
+
+
+def convex_union_vertices(
+    members: Sequence[Polyhedron],
+    param_binding: Optional[Mapping[str, Number]] = None,
+) -> np.ndarray:
+    """Vertices of the convex hull of the union of fully specialised polyhedra.
+
+    Returns an array of shape ``(n_vertices, n_dims)`` in the dimension order
+    of the first member.  For one-dimensional spaces the two extreme points
+    are returned.  Intended for analysis and tests rather than for the hot
+    compilation path.
+    """
+    if not members:
+        raise ValueError("need at least one polyhedron")
+    dims = members[0].dims
+    points: List[Tuple[int, ...]] = []
+    for poly in members:
+        if poly.dims != dims:
+            raise ValueError("all members must share the same dimensions")
+        for point in enumerate_integer_points(poly, param_binding):
+            points.append(tuple(point[d] for d in dims))
+    if not points:
+        return np.empty((0, len(dims)), dtype=np.int64)
+    unique = np.unique(np.array(points, dtype=np.int64), axis=0)
+    if len(dims) == 1 or unique.shape[0] <= 2:
+        low = unique.min(axis=0)
+        high = unique.max(axis=0)
+        if np.array_equal(low, high):
+            return low.reshape(1, -1)
+        return np.stack([low, high])
+    try:
+        from scipy.spatial import ConvexHull, QhullError
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        return unique
+    try:
+        hull = ConvexHull(unique)
+    except QhullError:
+        # Degenerate (e.g. collinear) point sets: fall back to the box corners.
+        low = unique.min(axis=0)
+        high = unique.max(axis=0)
+        return np.unique(np.stack([low, high]), axis=0)
+    return unique[hull.vertices]

@@ -1,0 +1,74 @@
+"""Images and preimages of polyhedra under affine functions.
+
+``image_of_polyhedron(I, F)`` computes the data space ``F·I`` touched by an
+array reference with access function ``F`` executed over iteration domain
+``I`` — the central object of the paper's Section 3.  The image is obtained by
+introducing the output dimensions, constraining them to equal the access
+expressions, and projecting the input dimensions away with Fourier–Motzkin
+elimination.  The result is the rational (convex) image; for the affine
+references handled by the framework this coincides with the convex hull of the
+integer image, which is exactly what PolyLib provided to the original system.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.polyhedral.affine import AffineExpr, AffineFunction
+from repro.polyhedral.constraints import Constraint
+from repro.polyhedral.polyhedron import Polyhedron
+from repro.utils.naming import NameGenerator
+
+
+def image_of_polyhedron(
+    domain: Polyhedron,
+    function: AffineFunction,
+    output_dims: Optional[Sequence[str]] = None,
+) -> Polyhedron:
+    """The set ``{ F(x) : x in domain }`` as a polyhedron over *output_dims*."""
+    missing = [name for name in function.inputs if name not in domain.dims]
+    if missing:
+        raise ValueError(
+            f"access function inputs {missing} are not dimensions of the domain "
+            f"{domain.dims}"
+        )
+    names = NameGenerator(set(domain.dims) | set(domain.params))
+    if output_dims is None:
+        output_dims = [names.fresh(f"d{i}") for i in range(function.output_dim)]
+    else:
+        output_dims = list(output_dims)
+        if len(output_dims) != function.output_dim:
+            raise ValueError(
+                f"expected {function.output_dim} output dimension names, "
+                f"got {len(output_dims)}"
+            )
+        clash = set(output_dims) & (set(domain.dims) | set(domain.params))
+        if clash:
+            raise ValueError(f"output dims clash with existing names: {sorted(clash)}")
+
+    combined_dims = tuple(domain.dims) + tuple(output_dims)
+    constraints = list(domain.constraints)
+    for out_name, expr in zip(output_dims, function.outputs):
+        constraints.append(Constraint.equals(AffineExpr.var(out_name), expr))
+    combined = Polyhedron(combined_dims, constraints, domain.params)
+    projected = combined.project_out(domain.dims)
+    return Polyhedron(tuple(output_dims), projected.constraints, domain.params)
+
+
+def preimage_of_polyhedron(
+    data_space: Polyhedron,
+    function: AffineFunction,
+    input_dims: Optional[Sequence[str]] = None,
+) -> Polyhedron:
+    """The set ``{ x : F(x) in data_space }`` over the function's input dims."""
+    if input_dims is None:
+        input_dims = list(function.inputs)
+    if len(data_space.dims) != function.output_dim:
+        raise ValueError(
+            "data space dimensionality must equal the access function's output "
+            f"dimensionality ({len(data_space.dims)} vs {function.output_dim})"
+        )
+    substitution = dict(zip(data_space.dims, function.outputs))
+    constraints = [c.substitute(substitution) for c in data_space.constraints]
+    params = tuple(dict.fromkeys(tuple(data_space.params) + function.parameters))
+    return Polyhedron(tuple(input_dims), constraints, params)

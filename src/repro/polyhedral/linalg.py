@@ -1,0 +1,147 @@
+"""Exact rational linear algebra used by the polyhedral layer.
+
+numpy's floating-point routines are unsuitable for legality decisions (rank
+tests, dependence feasibility), so the handful of kernels needed here —
+Gaussian elimination, rank, nullspace, linear solve — are implemented over
+:class:`fractions.Fraction`.  Matrices are plain lists of lists; sizes in this
+project are tiny (loop depths of at most 6–8), so asymptotics are irrelevant
+and clarity wins.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.utils.frac import as_fraction
+
+Number = Union[int, Fraction]
+Matrix = Sequence[Sequence[Number]]
+
+
+def to_fraction_matrix(matrix: Matrix) -> List[List[Fraction]]:
+    """Deep-copy *matrix* converting every entry to an exact ``Fraction``."""
+    return [[as_fraction(entry) for entry in row] for row in matrix]
+
+
+def _check_rectangular(matrix: List[List[Fraction]]) -> None:
+    if matrix and any(len(row) != len(matrix[0]) for row in matrix):
+        raise ValueError("matrix rows must all have the same length")
+
+
+def row_echelon(matrix: Matrix) -> Tuple[List[List[Fraction]], List[int]]:
+    """Reduce to row-echelon form.
+
+    Returns the echelon matrix and the list of pivot column indices.
+    """
+    work = to_fraction_matrix(matrix)
+    _check_rectangular(work)
+    if not work:
+        return [], []
+    rows, cols = len(work), len(work[0])
+    pivots: List[int] = []
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        # Find a row with a non-zero entry in this column.
+        selected = None
+        for r in range(pivot_row, rows):
+            if work[r][col] != 0:
+                selected = r
+                break
+        if selected is None:
+            continue
+        work[pivot_row], work[selected] = work[selected], work[pivot_row]
+        pivot = work[pivot_row][col]
+        work[pivot_row] = [entry / pivot for entry in work[pivot_row]]
+        for r in range(rows):
+            if r != pivot_row and work[r][col] != 0:
+                factor = work[r][col]
+                work[r] = [
+                    entry - factor * pivot_entry
+                    for entry, pivot_entry in zip(work[r], work[pivot_row])
+                ]
+        pivots.append(col)
+        pivot_row += 1
+    return work, pivots
+
+
+def matrix_rank(matrix: Matrix) -> int:
+    """Exact rank of a rational matrix."""
+    _, pivots = row_echelon(matrix)
+    return len(pivots)
+
+
+def nullspace(matrix: Matrix) -> List[List[Fraction]]:
+    """Basis of the (right) nullspace, one basis vector per list entry."""
+    work = to_fraction_matrix(matrix)
+    _check_rectangular(work)
+    if not work:
+        return []
+    cols = len(work[0])
+    echelon, pivots = row_echelon(work)
+    free_cols = [c for c in range(cols) if c not in pivots]
+    basis: List[List[Fraction]] = []
+    for free in free_cols:
+        vector = [Fraction(0)] * cols
+        vector[free] = Fraction(1)
+        for row_index, pivot_col in enumerate(pivots):
+            vector[pivot_col] = -echelon[row_index][free]
+        basis.append(vector)
+    return basis
+
+
+def solve(matrix: Matrix, rhs: Sequence[Number]) -> Optional[List[Fraction]]:
+    """Solve ``matrix @ x = rhs`` exactly.
+
+    Returns one solution (free variables set to zero), or ``None`` when the
+    system is inconsistent.
+    """
+    work = to_fraction_matrix(matrix)
+    _check_rectangular(work)
+    rhs_vec = [as_fraction(v) for v in rhs]
+    if len(work) != len(rhs_vec):
+        raise ValueError("rhs length must equal the number of matrix rows")
+    if not work:
+        return []
+    cols = len(work[0])
+    augmented = [row + [rhs_vec[i]] for i, row in enumerate(work)]
+    echelon, pivots = row_echelon(augmented)
+    # Inconsistent if a pivot lands in the augmented column.
+    if cols in pivots:
+        return None
+    solution = [Fraction(0)] * cols
+    for row_index, pivot_col in enumerate(pivots):
+        solution[pivot_col] = echelon[row_index][cols]
+    return solution
+
+
+def matmul(a: Matrix, b: Matrix) -> List[List[Fraction]]:
+    """Exact matrix product ``a @ b``."""
+    a_work = to_fraction_matrix(a)
+    b_work = to_fraction_matrix(b)
+    if not a_work or not b_work:
+        return []
+    if len(a_work[0]) != len(b_work):
+        raise ValueError("inner dimensions do not match")
+    result = []
+    for row in a_work:
+        out_row = []
+        for col in range(len(b_work[0])):
+            out_row.append(sum(row[k] * b_work[k][col] for k in range(len(b_work))))
+        result.append(out_row)
+    return result
+
+
+def identity(size: int) -> List[List[Fraction]]:
+    """Exact identity matrix of the given size."""
+    return [
+        [Fraction(1) if i == j else Fraction(0) for j in range(size)]
+        for i in range(size)
+    ]
+
+
+def is_integer_matrix(matrix: Matrix) -> bool:
+    """True when every entry is an integer-valued rational."""
+    return all(as_fraction(entry).denominator == 1 for row in matrix for entry in row)

@@ -1,0 +1,265 @@
+"""Parametric per-dimension bounds — the PIP substitute.
+
+The paper uses Feautrier's Parametric Integer Programming (PIP) solver for one
+purpose only: obtaining the lower and upper bound of each dimension of a
+convex data-space union *as an affine function of the block parameters*
+(Algorithm 2, step 8).  Fourier–Motzkin elimination delivers exactly those
+bounds: after projecting everything else away, the constraints on a dimension
+read ``dim >= affine(params)`` and ``dim <= affine(params)``; when several
+candidates remain the true bound is their max (lower) or min (upper), which we
+represent with :class:`QuasiAffineBound`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.polyhedral import fourier_motzkin as fm
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.polyhedron import Polyhedron
+from repro.utils.frac import fraction_ceil, fraction_floor
+
+Number = Union[int, Fraction]
+
+
+@dataclass(frozen=True)
+class QuasiAffineBound:
+    """``min`` or ``max`` of a set of affine expressions.
+
+    ``kind`` is ``"max"`` for lower bounds (the tightest lower bound of a set
+    of candidates) and ``"min"`` for upper bounds, matching the expressions
+    CLooG prints as ``max(...)`` / ``min(...)`` in loop bounds.
+    """
+
+    kind: str
+    exprs: Tuple[AffineExpr, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("min", "max"):
+            raise ValueError(f"kind must be 'min' or 'max', got {self.kind!r}")
+        if not self.exprs:
+            raise ValueError("a quasi-affine bound needs at least one expression")
+        object.__setattr__(self, "exprs", tuple(dict.fromkeys(self.exprs)))
+
+    @property
+    def is_single(self) -> bool:
+        return len(self.exprs) == 1
+
+    def as_single_expr(self) -> AffineExpr:
+        """Return the unique expression; raises when the bound is a true min/max."""
+        if not self.is_single:
+            raise ValueError(f"bound {self} is not a single affine expression")
+        return self.exprs[0]
+
+    def evaluate(self, binding: Mapping[str, Number]) -> Fraction:
+        values = [expr.evaluate(binding) for expr in self.exprs]
+        return min(values) if self.kind == "min" else max(values)
+
+    def evaluate_int(self, binding: Mapping[str, Number]) -> int:
+        """Integer bound: lower (max) bounds round up, upper (min) bounds round down."""
+        value = self.evaluate(binding)
+        return fraction_ceil(value) if self.kind == "max" else fraction_floor(value)
+
+    def is_constant(self) -> bool:
+        return all(expr.is_constant() for expr in self.exprs)
+
+    def substitute(self, binding: Mapping[str, Number]) -> "QuasiAffineBound":
+        return QuasiAffineBound(
+            self.kind, tuple(expr.substitute(binding) for expr in self.exprs)
+        )
+
+    def merged_with(self, other: "QuasiAffineBound") -> "QuasiAffineBound":
+        if self.kind != other.kind:
+            raise ValueError("cannot merge bounds of different kinds")
+        return QuasiAffineBound(self.kind, self.exprs + other.exprs)
+
+    def __str__(self) -> str:
+        if self.is_single:
+            return str(self.exprs[0])
+        inner = ", ".join(str(expr) for expr in self.exprs)
+        return f"{self.kind}({inner})"
+
+
+@dataclass(frozen=True)
+class ParametricBound:
+    """Lower and upper bound of one dimension as functions of the parameters."""
+
+    dim: str
+    lower: QuasiAffineBound
+    upper: QuasiAffineBound
+
+    def __post_init__(self) -> None:
+        if self.lower.kind != "max" or self.upper.kind != "min":
+            raise ValueError("lower bound must be a max, upper bound a min")
+
+    def extent_expr(self) -> AffineExpr:
+        """``ub - lb + 1`` when both bounds are single affine expressions."""
+        return self.upper.as_single_expr() - self.lower.as_single_expr() + 1
+
+    def evaluate(self, binding: Mapping[str, Number]) -> Tuple[int, int]:
+        return self.lower.evaluate_int(binding), self.upper.evaluate_int(binding)
+
+    def extent(self, binding: Mapping[str, Number]) -> int:
+        low, high = self.evaluate(binding)
+        return max(0, high - low + 1)
+
+    def __str__(self) -> str:
+        return f"{self.lower} <= {self.dim} <= {self.upper}"
+
+
+def parametric_bounds(
+    polyhedron: Polyhedron, dim: Optional[str] = None
+) -> Union[ParametricBound, Dict[str, ParametricBound]]:
+    """Parametric bounds of one dimension (or of all dimensions) of a polyhedron.
+
+    Bounds are expressed over the polyhedron's parameters only; all other set
+    dimensions are projected away first.  Raises ``ValueError`` when a
+    dimension is unbounded.
+    """
+    if dim is not None:
+        return _bounds_for(polyhedron, dim)
+    return {name: _bounds_for(polyhedron, name) for name in polyhedron.dims}
+
+
+def resolve_quasi_affine(
+    bound: QuasiAffineBound, context: Optional[Polyhedron] = None
+) -> Union[AffineExpr, QuasiAffineBound]:
+    """Try to collapse a min/max of affine expressions to a single expression.
+
+    Two resolution strategies are applied in order:
+
+    1. *constant difference* — when all candidates differ pairwise by
+       constants the extreme one is known statically;
+    2. *context domination* — when a context polyhedron over the free
+       variables is given (e.g. ``iT >= 0`` for a tile-origin parameter), a
+       candidate that dominates every other candidate over the whole context
+       is the bound (this is the "gist" simplification PIP/CLooG perform
+       against the parameter context).
+
+    Returns a plain :class:`AffineExpr` on success and the original (deduped)
+    bound otherwise.
+    """
+    if bound.is_single:
+        return bound.exprs[0]
+    # Strategy 1: constant differences.
+    best = bound.exprs[0]
+    resolved = True
+    for expr in bound.exprs[1:]:
+        difference = expr - best
+        if not difference.is_constant():
+            resolved = False
+            break
+        if bound.kind == "min" and difference.constant < 0:
+            best = expr
+        elif bound.kind == "max" and difference.constant > 0:
+            best = expr
+    if resolved:
+        return best
+    # Strategy 2: domination over the context.
+    if context is None:
+        return bound
+    from repro.polyhedral.constraints import Constraint
+
+    known = set(context.dims) | set(context.params)
+    for candidate in bound.exprs:
+        dominates = True
+        for other in bound.exprs:
+            if other is candidate:
+                continue
+            free = set(candidate.variables) | set(other.variables)
+            if not free <= known:
+                dominates = False
+                break
+            if bound.kind == "max":
+                # candidate is the max unless it can be strictly below `other`.
+                violation = Constraint.less_equal(candidate - other, -1)
+            else:
+                violation = Constraint.greater_equal(candidate - other, 1)
+            if not context.add_constraints([violation]).is_empty():
+                dominates = False
+                break
+        if dominates:
+            return candidate
+    return bound
+
+
+def static_extent_bound(
+    lower: QuasiAffineBound,
+    upper: QuasiAffineBound,
+    context: Optional[Polyhedron] = None,
+) -> Optional[int]:
+    """A static upper bound on ``upper - lower + 1`` over all parameter values.
+
+    ``min(uppers) - max(lowers) <= u - l`` for every pair, so any pair whose
+    difference is a constant (or is bounded over the context) yields a valid
+    extent; the smallest such value is returned.  Returns ``None`` when no
+    pair is bounded — callers should then fall back to explicit parameter
+    values.
+    """
+    if lower.kind != "max" or upper.kind != "min":
+        raise ValueError("expected a lower (max) and an upper (min) bound")
+    best: Optional[int] = None
+    for up in upper.exprs:
+        for low in lower.exprs:
+            difference = up - low
+            extent: Optional[int] = None
+            if difference.is_constant():
+                extent = fraction_floor(difference.constant) + 1
+            elif context is not None:
+                extent = _max_over_context(difference, context)
+                if extent is not None:
+                    extent += 1
+            if extent is not None and (best is None or extent < best):
+                best = extent
+    if best is not None:
+        best = max(best, 0)
+    return best
+
+
+def _max_over_context(expr: AffineExpr, context: Polyhedron) -> Optional[int]:
+    """Maximum value of an affine expression over a bounded context, if bounded."""
+    from repro.polyhedral.constraints import Constraint
+    from repro.polyhedral.image import image_of_polyhedron
+    from repro.polyhedral.affine import AffineFunction
+
+    known = set(context.dims) | set(context.params)
+    if not set(expr.variables) <= known:
+        return None
+    # Introduce a fresh dimension equal to the expression and bound it.
+    value_dim = "__value"
+    combined = Polyhedron(
+        tuple(context.dims) + (value_dim,),
+        list(context.constraints)
+        + [Constraint.equals(AffineExpr.var(value_dim), expr)],
+        context.params,
+    )
+    projected = combined.project_onto([value_dim])
+    try:
+        bound = _bounds_for(projected, value_dim)
+    except ValueError:
+        return None
+    if not bound.upper.is_constant():
+        return None
+    values = [e.constant for e in bound.upper.exprs]
+    return fraction_floor(min(values))
+
+
+def _bounds_for(polyhedron: Polyhedron, dim: str) -> ParametricBound:
+    if dim not in polyhedron.dims:
+        raise ValueError(f"'{dim}' is not a dimension of {polyhedron!r}")
+    lowers, uppers = fm.bounds_for_variable(
+        polyhedron.constraints, dim, polyhedron.params
+    )
+    if not lowers:
+        raise ValueError(f"dimension '{dim}' has no lower bound in {polyhedron!r}")
+    if not uppers:
+        raise ValueError(f"dimension '{dim}' has no upper bound in {polyhedron!r}")
+    lower_exprs = tuple(expr / coeff for expr, coeff in lowers)
+    upper_exprs = tuple(expr / coeff for expr, coeff in uppers)
+    return ParametricBound(
+        dim,
+        QuasiAffineBound("max", lower_exprs),
+        QuasiAffineBound("min", upper_exprs),
+    )

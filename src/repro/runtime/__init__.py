@@ -1,0 +1,11 @@
+"""Functional execution substrate.
+
+The interpreter executes programs (original or transformed) over concrete
+numpy arrays, producing both results (for correctness checks) and access
+statistics (for the machine model's cost accounting).
+"""
+
+from repro.runtime.context import ExecutionContext, AccessCounters
+from repro.runtime.interpreter import Interpreter, run_program
+
+__all__ = ["ExecutionContext", "AccessCounters", "Interpreter", "run_program"]

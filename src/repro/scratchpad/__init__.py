@@ -1,0 +1,57 @@
+"""Automatic data management in scratchpad memories (paper Section 3).
+
+Pipeline (one array at a time, over a program block):
+
+1. :mod:`repro.scratchpad.data_space` — compute the data space touched by
+   every affine reference (``F · I``).
+2. :mod:`repro.scratchpad.partition` — group data spaces into maximal
+   non-overlapping partitions (connected components of the overlap graph).
+3. :mod:`repro.scratchpad.reuse` — Algorithm 1: decide whether a partition has
+   enough reuse to be worth staging in the scratchpad.
+4. :mod:`repro.scratchpad.allocation` — Algorithm 2: size a local buffer from
+   the per-dimension bounds of the partition's convex/rectangular union.
+5. :mod:`repro.scratchpad.remap` — rewrite references to target the local
+   buffer (``F'(y) − g``).
+6. :mod:`repro.scratchpad.movement` — generate copy-in / copy-out loop nests
+   that touch each element exactly once, plus copy-volume bounds.
+7. :mod:`repro.scratchpad.liveness` — (extension; the paper leaves it as
+   future work) restrict copies to live data using dependence information.
+
+:class:`repro.scratchpad.manager.ScratchpadManager` ties the steps together
+and produces a transformed program.
+"""
+
+from repro.scratchpad.data_space import ReferenceDataSpace, compute_reference_data_spaces, data_space_dims
+from repro.scratchpad.partition import partition_overlapping
+from repro.scratchpad.reuse import ReuseDecision, evaluate_reuse
+from repro.scratchpad.allocation import LocalBufferSpec, allocate_local_buffer
+from repro.scratchpad.remap import build_remap_table, remap_statement
+from repro.scratchpad.movement import DataMovementCode, generate_data_movement
+from repro.scratchpad.liveness import CopyClassification, classify_copies
+from repro.scratchpad.manager import (
+    BufferPlan,
+    ScratchpadManager,
+    ScratchpadOptions,
+    ScratchpadPlan,
+)
+
+__all__ = [
+    "ReferenceDataSpace",
+    "compute_reference_data_spaces",
+    "data_space_dims",
+    "partition_overlapping",
+    "ReuseDecision",
+    "evaluate_reuse",
+    "LocalBufferSpec",
+    "allocate_local_buffer",
+    "build_remap_table",
+    "remap_statement",
+    "DataMovementCode",
+    "generate_data_movement",
+    "CopyClassification",
+    "classify_copies",
+    "BufferPlan",
+    "ScratchpadManager",
+    "ScratchpadOptions",
+    "ScratchpadPlan",
+]

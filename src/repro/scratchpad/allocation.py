@@ -1,0 +1,149 @@
+"""Local-memory storage allocation — Algorithm 2 of the paper.
+
+For a partition of data spaces of array ``A`` the local buffer is an
+``n``-dimensional array sized ``(ub_1 − lb_1 + 1) × ... × (ub_n − lb_n + 1)``
+where ``lb_k`` / ``ub_k`` are the per-dimension bounds of the convex union of
+the partition's data spaces, expressed as affine functions of the block
+parameters (the paper obtains them with PIP; we use the rectangular hull with
+context-aware bound resolution, see :mod:`repro.polyhedral.hull`).
+
+The remap offset ``g = (lb_1, ..., lb_n)`` is the same lower bound; when a
+bound cannot be resolved to a single affine expression it is registered as a
+*derived symbol* (a quasi-affine ``min``) which the interpreter and the Python
+emitter evaluate per block instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.ir.arrays import LOCAL_MEMORY, Array
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.hull import RectangularHull, rectangular_hull
+from repro.polyhedral.parametric import QuasiAffineBound
+from repro.polyhedral.polyhedron import Polyhedron
+from repro.scratchpad.data_space import ReferenceDataSpace, data_space_dims
+
+OffsetLike = Union[AffineExpr, QuasiAffineBound]
+
+
+@dataclass(frozen=True)
+class LocalBufferSpec:
+    """A local buffer allocated for one partition of accessed data spaces."""
+
+    original: Array
+    local: Array
+    partition: Tuple[ReferenceDataSpace, ...]
+    hull: RectangularHull
+    dims: Tuple[str, ...]
+    #: Per-dimension remap offsets as affine expressions.  When the true bound
+    #: is a quasi-affine ``min``, the expression refers to a derived symbol
+    #: whose definition is recorded in :attr:`offset_definitions`.
+    offsets: Tuple[AffineExpr, ...]
+    offset_definitions: Dict[str, QuasiAffineBound] = field(default_factory=dict)
+
+    @property
+    def extents(self) -> Tuple[int, ...]:
+        shape = []
+        for extent in self.local.shape:
+            if isinstance(extent, AffineExpr):
+                raise ValueError(
+                    f"buffer {self.local.name} has a symbolic extent {extent}"
+                )
+            shape.append(extent)
+        return tuple(shape)
+
+    def footprint_elements(self) -> int:
+        total = 1
+        for extent in self.extents:
+            total *= extent
+        return total
+
+    def footprint_bytes(self) -> int:
+        return self.footprint_elements() * self.original.element_size
+
+    def read_spaces(self) -> Tuple[Polyhedron, ...]:
+        return tuple(s.data_space for s in self.partition if not s.is_write)
+
+    def write_spaces(self) -> Tuple[Polyhedron, ...]:
+        return tuple(s.data_space for s in self.partition if s.is_write)
+
+    def __str__(self) -> str:
+        extents = "][".join(str(extent) for extent in self.local.shape)
+        offsets = ", ".join(str(offset) for offset in self.offsets)
+        return f"{self.local.name}[{extents}] for {self.original.name} (offsets {offsets})"
+
+
+def allocate_local_buffer(
+    array: Array,
+    partition: Sequence[ReferenceDataSpace],
+    context: Optional[Polyhedron] = None,
+    param_binding: Optional[Mapping[str, int]] = None,
+    name: Optional[str] = None,
+) -> LocalBufferSpec:
+    """Algorithm 2 for one partition: size the buffer and compute remap offsets.
+
+    ``context`` constrains the block parameters (tile origins, problem sizes)
+    and is used both to resolve bounds to single affine expressions and to
+    bound buffer extents statically.  ``param_binding`` is a fallback for
+    extents that have no static bound (the extent is then computed for those
+    specific parameter values).
+    """
+    if not partition:
+        raise ValueError("cannot allocate a buffer for an empty partition")
+    for space in partition:
+        if space.array.name != array.name:
+            raise ValueError(
+                f"partition mixes arrays {space.array.name!r} and {array.name!r}"
+            )
+    buffer_name = name or f"l_{array.name}"
+    dims = data_space_dims(array)
+    hull = rectangular_hull([s.data_space for s in partition], context=context)
+
+    offsets: list = []
+    offset_definitions: Dict[str, QuasiAffineBound] = {}
+    extents: list = []
+    for position, dim in enumerate(dims):
+        bound = hull.resolved_lower_bound(dim)
+        if isinstance(bound, QuasiAffineBound):
+            symbol = f"{buffer_name}_lb{position}"
+            offset_definitions[symbol] = bound
+            offset_expr = AffineExpr.var(symbol)
+        else:
+            offset_expr = bound
+        offsets.append(offset_expr)
+
+        extent = hull.allocation_extent(dim, bound)
+        if extent is None:
+            if param_binding is None:
+                raise ValueError(
+                    f"no static extent for dimension {dim!r} of buffer "
+                    f"{buffer_name!r}; supply parameter values or a tighter context"
+                )
+            box = hull.evaluate_box(param_binding)
+            low, high = box[dim]
+            offset_value = (
+                bound.evaluate_int(param_binding)
+                if isinstance(bound, QuasiAffineBound)
+                else int(bound.evaluate(param_binding))
+            )
+            extent = max(high - offset_value + 1, 0)
+        extents.append(max(int(extent), 1))
+
+    local = Array(
+        name=buffer_name,
+        shape=tuple(extents),
+        dtype=array.dtype,
+        memory=LOCAL_MEMORY,
+        element_size=array.element_size,
+    )
+    return LocalBufferSpec(
+        original=array,
+        local=local,
+        partition=tuple(partition),
+        hull=hull,
+        dims=dims,
+        offsets=tuple(offsets),
+        offset_definitions=offset_definitions,
+    )

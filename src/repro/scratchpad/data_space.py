@@ -1,0 +1,101 @@
+"""Per-reference accessed data spaces (paper Section 3.1, first step).
+
+For every array reference ``a[F(i)]`` executed over an iteration domain ``I``
+the accessed data space is the image ``F · I`` — a polyhedron over the
+array's index space.  All data spaces of one array share canonical dimension
+names so later stages (partitioning, hulls, copy-code scanning) can intersect
+and unite them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ir.arrays import Array
+from repro.ir.expressions import Load
+from repro.ir.statements import Statement
+from repro.polyhedral.affine import AffineFunction
+from repro.polyhedral.image import image_of_polyhedron
+from repro.polyhedral.polyhedron import Polyhedron
+
+
+def data_space_dims(array: Array) -> Tuple[str, ...]:
+    """Canonical dimension names for an array's data space polyhedra."""
+    return tuple(f"{array.name}__d{k}" for k in range(array.ndim))
+
+
+@dataclass(frozen=True)
+class ReferenceDataSpace:
+    """One reference of one statement together with its accessed data space."""
+
+    statement: Statement
+    load: Load
+    is_write: bool
+    array: Array
+    function: AffineFunction
+    data_space: Polyhedron
+
+    @property
+    def iteration_dim(self) -> int:
+        """Dimensionality of the surrounding iteration space (paper's dim(i))."""
+        return len(self.statement.domain.dims)
+
+    @property
+    def rank(self) -> int:
+        """Rank of the iterator part of the access function (paper's rank(F))."""
+        return self.function.rank()
+
+    @property
+    def has_order_of_magnitude_reuse(self) -> bool:
+        """Condition (1) of the paper: ``rank(F) < dim(i)``."""
+        return self.rank < self.iteration_dim
+
+    def __str__(self) -> str:
+        kind = "write" if self.is_write else "read"
+        return f"{kind} {self.array.name}{self.function} in {self.statement.name}"
+
+
+def _reference_data_space(statement: Statement, load: Load, is_write: bool) -> ReferenceDataSpace:
+    function = AffineFunction(statement.domain.dims, load.indices)
+    dims = data_space_dims(load.array)
+    data_space = image_of_polyhedron(statement.domain, function, dims)
+    return ReferenceDataSpace(
+        statement=statement,
+        load=load,
+        is_write=is_write,
+        array=load.array,
+        function=function,
+        data_space=data_space,
+    )
+
+
+def compute_reference_data_spaces(
+    statements: Iterable[Statement],
+    arrays: Optional[Sequence[str]] = None,
+) -> Dict[str, List[ReferenceDataSpace]]:
+    """Data spaces of every reference in the block, grouped by array name.
+
+    ``arrays`` optionally restricts the analysis to the named arrays (the
+    manager uses this to skip arrays that are already local buffers).
+    Duplicate references (same statement, same access, same direction) are
+    collapsed, matching the paper's set-of-data-spaces formulation.
+    """
+    wanted = set(arrays) if arrays is not None else None
+    result: Dict[str, List[ReferenceDataSpace]] = {}
+    seen: set = set()
+    for statement in statements:
+        accesses: List[Tuple[Load, bool]] = [(statement.lhs, True)]
+        accesses.extend((load, False) for load in statement.read_loads())
+        for load, is_write in accesses:
+            if wanted is not None and load.array.name not in wanted:
+                continue
+            if load.array.is_local:
+                continue
+            key = (statement.name, load, is_write)
+            if key in seen:
+                continue
+            seen.add(key)
+            space = _reference_data_space(statement, load, is_write)
+            result.setdefault(load.array.name, []).append(space)
+    return result

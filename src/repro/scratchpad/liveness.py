@@ -1,0 +1,144 @@
+"""Dependence-based copy-in / copy-out minimisation (paper Section 3.1.4).
+
+The paper describes — but explicitly leaves as future work — an optimisation
+that copies in only data whose producing write lies *outside* the block (plus
+pure-input arrays) and copies out only data read *after* the block (plus
+pure-output arrays).  This module implements a sound array-granularity version
+of that optimisation, used by the manager when ``liveness=True`` and evaluated
+by the ``bench_ablation_liveness`` benchmark:
+
+* **copy-in** for an array is skipped when every read of the array inside the
+  block is covered by writes of the block that are guaranteed to execute
+  before the reads (the reads are not upward exposed);
+* **copy-out** for an array is skipped when the caller declares the array dead
+  after the block (``live_out`` set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.ir.statements import Statement
+from repro.scratchpad.data_space import ReferenceDataSpace, compute_reference_data_spaces
+
+
+@dataclass(frozen=True)
+class CopyClassification:
+    """Which arrays need copy-in and copy-out, with human-readable reasons."""
+
+    copy_in_arrays: Set[str]
+    copy_out_arrays: Set[str]
+    reasons: Dict[str, str] = field(default_factory=dict)
+
+    def needs_copy_in(self, array_name: str) -> bool:
+        return array_name in self.copy_in_arrays
+
+    def needs_copy_out(self, array_name: str) -> bool:
+        return array_name in self.copy_out_arrays
+
+
+def classify_copies(
+    statements: Sequence[Statement],
+    live_out: Optional[Iterable[str]] = None,
+    data_spaces: Optional[Mapping[str, List[ReferenceDataSpace]]] = None,
+) -> CopyClassification:
+    """Classify arrays of a block into copy-in / copy-out sets.
+
+    ``live_out`` lists arrays whose values are used after the block; written
+    arrays not in this set are not copied out.  When ``live_out`` is ``None``
+    every written array is conservatively treated as live.
+    """
+    statements = list(statements)
+    if data_spaces is None:
+        data_spaces = compute_reference_data_spaces(statements)
+    live_out_set = set(live_out) if live_out is not None else None
+
+    copy_in: Set[str] = set()
+    copy_out: Set[str] = set()
+    reasons: Dict[str, str] = {}
+
+    for array_name, spaces in data_spaces.items():
+        reads = [s for s in spaces if not s.is_write]
+        writes = [s for s in spaces if s.is_write]
+
+        if reads:
+            if not writes:
+                copy_in.add(array_name)
+                reasons[array_name] = "read-only in block (input array)"
+            elif _reads_upward_exposed(reads, writes):
+                copy_in.add(array_name)
+                reasons[array_name] = (
+                    "some reads may observe values produced outside the block"
+                )
+            else:
+                reasons[array_name] = (
+                    "all reads covered by earlier block-internal writes; copy-in skipped"
+                )
+
+        if writes:
+            if live_out_set is None or array_name in live_out_set:
+                copy_out.add(array_name)
+                reasons.setdefault(array_name, "")
+                suffix = "written and live after the block"
+                reasons[array_name] = (
+                    f"{reasons[array_name]}; {suffix}" if reasons[array_name] else suffix
+                )
+            else:
+                suffix = "written but dead after the block; copy-out skipped"
+                reasons[array_name] = (
+                    f"{reasons.get(array_name, '')}; {suffix}".lstrip("; ")
+                )
+    return CopyClassification(copy_in, copy_out, reasons)
+
+
+def _reads_upward_exposed(
+    reads: Sequence[ReferenceDataSpace], writes: Sequence[ReferenceDataSpace]
+) -> bool:
+    """Could any read observe a value not produced earlier inside the block?
+
+    A read is *not* upward exposed when (a) its data space is contained in the
+    union of the write data spaces of textually earlier statements, and (b)
+    those writes are not enclosed in fewer common loops than the read (so each
+    written element is produced before the iteration that reads it).  The
+    check is conservative: any doubt keeps the copy-in.
+    """
+    for read in reads:
+        covering = []
+        for write in writes:
+            if write.statement.textual_position >= read.statement.textual_position:
+                continue
+            common = 0
+            for a, b in zip(write.statement.domain.dims, read.statement.domain.dims):
+                if a == b:
+                    common += 1
+                else:
+                    break
+            if common > 0:
+                # Write and read share surrounding loops, so their instances
+                # interleave; element-wise ordering is not guaranteed without a
+                # full dependence-level argument — stay conservative.
+                continue
+            covering.append(write)
+        if not covering:
+            return True
+        if not _covered_by(read, covering):
+            return True
+    return False
+
+
+def _covered_by(
+    read: ReferenceDataSpace, writes: Sequence[ReferenceDataSpace]
+) -> bool:
+    """Is the read's data space contained in the union of the writes' spaces?"""
+    remaining = [read.data_space]
+    from repro.codegen.union_scan import subtract
+
+    for write in writes:
+        next_remaining = []
+        for piece in remaining:
+            next_remaining.extend(subtract(piece, write.data_space))
+        remaining = next_remaining
+        if not remaining:
+            return True
+    return not remaining

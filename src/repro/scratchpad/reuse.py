@@ -1,0 +1,110 @@
+"""Reuse-benefit analysis — Algorithm 1 of the paper.
+
+A partition of data spaces is worth staging in scratchpad memory when
+
+* at least one reference exhibits *order-of-magnitude* (non-constant) reuse,
+  i.e. the rank of its access matrix is smaller than the dimensionality of its
+  iteration space (each element is then touched by a whole subspace of
+  iterations), or
+* the references exhibit significant *constant* reuse: the summed volume of
+  pairwise overlaps of the data spaces exceeds a fraction ``delta`` of the
+  total accessed volume.  The paper fixes ``delta`` at 30 %.
+
+On architectures where global memory remains directly accessible during
+computation (GPUs), only beneficial partitions are staged; on architectures
+where it is not (the Cell), every partition must be staged regardless of the
+decision — that policy lives in the manager, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.polyhedral.counting import count_integer_points, intersection_point_count
+from repro.scratchpad.data_space import ReferenceDataSpace
+
+DEFAULT_DELTA = 0.3
+
+
+@dataclass(frozen=True)
+class ReuseDecision:
+    """Outcome of Algorithm 1 for one partition."""
+
+    beneficial: bool
+    reason: str
+    order_of_magnitude: bool
+    overlap_fraction: Optional[float] = None
+
+    def __str__(self) -> str:
+        verdict = "beneficial" if self.beneficial else "not beneficial"
+        return f"{verdict} ({self.reason})"
+
+
+def evaluate_reuse(
+    partition: Sequence[ReferenceDataSpace],
+    delta: float = DEFAULT_DELTA,
+    param_binding: Optional[Mapping[str, int]] = None,
+) -> ReuseDecision:
+    """Algorithm 1: decide whether *partition* should be staged in scratchpad.
+
+    ``param_binding`` supplies parameter values for the constant-reuse volume
+    computation; when the data spaces are parametric and no binding is given,
+    the constant-reuse test is skipped (treated as "no significant overlap"),
+    which is the conservative choice for the GPU policy.
+    """
+    if not partition:
+        raise ValueError("cannot evaluate reuse of an empty partition")
+    if not 0 <= delta <= 1:
+        raise ValueError(f"delta must be in [0, 1], got {delta}")
+
+    # Step 1: order-of-magnitude reuse (rank deficiency of any access).
+    for space in partition:
+        if space.has_order_of_magnitude_reuse:
+            return ReuseDecision(
+                beneficial=True,
+                reason=(
+                    f"reference {space.array.name}{space.function} has rank "
+                    f"{space.rank} < iteration dimensionality {space.iteration_dim}"
+                ),
+                order_of_magnitude=True,
+            )
+
+    # Step 2: constant reuse measured by pairwise overlap volume.
+    try:
+        total_volume = 0
+        overlap_volume = 0
+        for index, space in enumerate(partition):
+            total_volume += count_integer_points(space.data_space, param_binding)
+            for other in partition[index + 1 :]:
+                overlap_volume += intersection_point_count(
+                    space.data_space, other.data_space, param_binding
+                )
+    except ValueError:
+        return ReuseDecision(
+            beneficial=False,
+            reason="constant-reuse volumes not computable without parameter values",
+            order_of_magnitude=False,
+        )
+
+    if total_volume == 0:
+        return ReuseDecision(
+            beneficial=False,
+            reason="partition accesses no data",
+            order_of_magnitude=False,
+            overlap_fraction=0.0,
+        )
+    fraction = overlap_volume / total_volume
+    if fraction > delta:
+        return ReuseDecision(
+            beneficial=True,
+            reason=f"overlap volume fraction {fraction:.2f} exceeds delta={delta}",
+            order_of_magnitude=False,
+            overlap_fraction=fraction,
+        )
+    return ReuseDecision(
+        beneficial=False,
+        reason=f"overlap volume fraction {fraction:.2f} does not exceed delta={delta}",
+        order_of_magnitude=False,
+        overlap_fraction=fraction,
+    )

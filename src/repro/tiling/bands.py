@@ -1,0 +1,136 @@
+"""Permutable bands, space loops and time loops.
+
+The paper relies on the affine-transformation framework of Bondhugula et al.
+to find bands of permutable loops and to classify loops as *space*
+(communication-free, distributable across parallel units) or *time*
+(sequential / pipelined).  This module reimplements the decision procedure the
+paper actually consumes, driven purely by the dependence polyhedra:
+
+* a loop is **parallel** when it carries no dependence;
+* a band of consecutive loops is **fully permutable** (hence tilable) when no
+  dependence carried within the band has a negative distance component along
+  any loop of the band;
+* within the outermost permutable band, the communication-free loops become
+  space loops; when there are none, all but the last band loop are used as
+  space loops to obtain pipelined parallelism (the paper's rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.program import Program
+from repro.polyhedral.dependence import Dependence, DependenceAnalyzer
+
+
+@dataclass(frozen=True)
+class BandAnalysis:
+    """Result of the parallelism analysis of a program's loop nest."""
+
+    loop_order: Tuple[str, ...]
+    parallel_loops: Tuple[str, ...]
+    permutable_band: Tuple[str, ...]
+    space_loops: Tuple[str, ...]
+    time_loops: Tuple[str, ...]
+    carried: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def needs_global_synchronization(self) -> bool:
+        """True when a time loop encloses the space loops.
+
+        With an outer sequential (time) loop, all outer-level parallel
+        processes must synchronise between time steps — the situation of the
+        paper's 1-D Jacobi kernel, as opposed to the synchronisation-free
+        MPEG-4 ME kernel.
+        """
+        if not self.space_loops:
+            return False
+        first_space = self.loop_order.index(self.space_loops[0])
+        return any(self.loop_order.index(t) < first_space for t in self.time_loops)
+
+
+def analyze_bands(
+    program: Program, loop_order: Optional[Sequence[str]] = None
+) -> BandAnalysis:
+    """Classify the loops of (the common nest of) *program*.
+
+    ``loop_order`` defaults to the iterator order of the deepest statement;
+    programs whose statements disagree on the shared outer loops are analysed
+    on the common prefix.
+    """
+    statements = program.statement_list
+    if not statements:
+        raise ValueError("cannot analyse a program without statements")
+    if loop_order is None:
+        deepest = max(statements, key=lambda s: len(s.domain.dims))
+        loop_order = deepest.domain.dims
+    loop_order = tuple(loop_order)
+
+    analyzer = program.dependence_analyzer()
+    dependences = analyzer.dependences()
+    carried: Dict[str, int] = {loop: 0 for loop in loop_order}
+    for dep in dependences:
+        loop = dep.carrying_loop
+        if loop is not None and loop in carried:
+            carried[loop] += 1
+
+    parallel = tuple(loop for loop in loop_order if carried[loop] == 0)
+    band = _outermost_permutable_band(loop_order, dependences)
+    space, time = _space_time_split(loop_order, band, parallel)
+    return BandAnalysis(
+        loop_order=loop_order,
+        parallel_loops=parallel,
+        permutable_band=band,
+        space_loops=space,
+        time_loops=time,
+        carried=carried,
+    )
+
+
+def _outermost_permutable_band(
+    loop_order: Tuple[str, ...], dependences: List[Dependence]
+) -> Tuple[str, ...]:
+    """Longest prefix of the nest forming a fully permutable band."""
+    band: List[str] = []
+    for loop in loop_order:
+        candidate = band + [loop]
+        if _band_is_permutable(candidate, dependences):
+            band = candidate
+        else:
+            break
+    if band:
+        return tuple(band)
+    # Fallback: the outermost loop alone always forms a (trivial) band.
+    return loop_order[:1]
+
+
+def _band_is_permutable(band: Sequence[str], dependences: List[Dependence]) -> bool:
+    """No dependence carried within the band may have a negative component."""
+    band_set = set(band)
+    for dep in dependences:
+        loop = dep.carrying_loop
+        if loop is None or loop not in band_set:
+            continue
+        for other in band:
+            if dep.allows_negative_component(other):
+                return False
+    return True
+
+
+def _space_time_split(
+    loop_order: Tuple[str, ...],
+    band: Tuple[str, ...],
+    parallel: Tuple[str, ...],
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Space loops: communication-free loops of the outermost band.
+
+    If the band has no communication-free loop, all but the last band loop
+    become space loops (pipelined parallelism), per the paper's policy.
+    """
+    parallel_set = set(parallel)
+    space = tuple(loop for loop in band if loop in parallel_set)
+    if not space and len(band) > 1:
+        space = tuple(band[:-1])
+    time = tuple(loop for loop in loop_order if loop not in space)
+    return space, time

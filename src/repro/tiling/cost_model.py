@@ -1,0 +1,303 @@
+"""Data-movement cost model — paper Section 4.3.
+
+The cost of the data movement performed by one outer-level parallel process is
+
+    C = Σ_k  N_k · ( P·S  +  V_k·L / P )
+
+where, for each staged buffer ``k``:
+
+* ``N_k`` — number of copy occurrences: the product of the trip counts of the
+  intra-tile tiling loops that enclose the copy code (hoisting out of
+  redundant loops reduces this, Section 4.2),
+* ``V_k`` — volume (elements) moved per occurrence,
+* ``P``  — number of inner-level processes (threads) doing the copy,
+* ``S``  — synchronisation cost per process per copy occurrence,
+* ``L``  — transfer cost per element.
+
+The model is evaluated on the *actual* buffers the scratchpad framework would
+allocate for a tile: the constructor builds symbolic tile-shaped iteration
+domains (tile origins and tile sizes as parameters), computes the per-buffer
+hulls once, and each evaluation simply substitutes concrete tile sizes — so
+the same machinery that generates code also prices it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.ir.program import Program
+from repro.ir.statements import Statement
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.constraints import Constraint
+from repro.polyhedral.hull import RectangularHull, rectangular_hull
+from repro.polyhedral.polyhedron import Polyhedron
+from repro.scratchpad.data_space import compute_reference_data_spaces
+from repro.scratchpad.partition import partition_overlapping
+from repro.scratchpad.reuse import DEFAULT_DELTA, evaluate_reuse
+
+ORIGIN_SUFFIX = "__org"
+SIZE_SUFFIX = "__sz"
+
+
+@dataclass
+class MovementDescriptor:
+    """Pre-computed geometry of one prospective local buffer."""
+
+    array_name: str
+    buffer_name: str
+    element_size: int
+    hull: RectangularHull
+    read_hull: Optional[RectangularHull]
+    write_hull: Optional[RectangularHull]
+    #: original loop iterators the buffer's accesses actually depend on
+    dependent_loops: Set[str] = field(default_factory=set)
+
+
+class DataMovementCostModel:
+    """Evaluates the Section-4.3 cost model for candidate tile sizes."""
+
+    def __init__(
+        self,
+        program: Program,
+        tile_loops: Sequence[str],
+        loop_extents: Mapping[str, int],
+        threads: int,
+        sync_cost: float,
+        transfer_cost: float,
+        problem_params: Optional[Mapping[str, int]] = None,
+        delta: float = DEFAULT_DELTA,
+        stage_all: bool = False,
+        hoisting: bool = True,
+    ) -> None:
+        """Build the model.
+
+        Parameters
+        ----------
+        program:
+            The (untiled) program block; its statements define the accesses.
+        tile_loops:
+            Original loop iterators that the intra-tile (memory-level) tiling
+            splits; tile sizes are searched for exactly these loops.
+        loop_extents:
+            Iteration extent of each tile loop within one outer-level tile
+            (the ``N_i`` of the paper's formula).
+        threads:
+            ``P`` — the number of inner-level processes.
+        sync_cost / transfer_cost:
+            ``S`` and ``L`` of the cost model (machine-dependent).
+        problem_params:
+            Values for the program's symbolic parameters.
+        stage_all:
+            Treat every partition as staged (Cell-like target).
+        hoisting:
+            Account for Section-4.2 hoisting when counting copy occurrences.
+        """
+        if threads <= 0:
+            raise ValueError("threads (P) must be positive")
+        self.program = program
+        self.tile_loops = list(tile_loops)
+        self.loop_extents = {k: int(v) for k, v in loop_extents.items()}
+        for loop in self.tile_loops:
+            if loop not in self.loop_extents:
+                raise ValueError(f"missing extent for tile loop {loop!r}")
+        self.threads = threads
+        self.sync_cost = float(sync_cost)
+        self.transfer_cost = float(transfer_cost)
+        self.problem_params = dict(problem_params or program.default_params)
+        self.delta = delta
+        self.stage_all = stage_all
+        self.hoisting = hoisting
+        self.descriptors: List[MovementDescriptor] = []
+        self._representative_origins: Dict[str, int] = {}
+        self._build()
+
+    # -- construction -------------------------------------------------------------
+    def _build(self) -> None:
+        statements = [self._tile_domain_statement(s) for s in self.program.statement_list]
+        context = self._context()
+        data_spaces = compute_reference_data_spaces(statements)
+        reuse_binding = dict(self.problem_params)
+        reuse_binding.update(self._representative_origins)
+        for loop in self.tile_loops:
+            reuse_binding.setdefault(f"{loop}{SIZE_SUFFIX}", self.loop_extents[loop])
+
+        for array_name in sorted(data_spaces):
+            spaces = data_spaces[array_name]
+            for index, partition in enumerate(partition_overlapping(spaces)):
+                decision = evaluate_reuse(partition, self.delta, reuse_binding)
+                if not (decision.beneficial or self.stage_all):
+                    continue
+                element_size = partition[0].array.element_size
+                hull = rectangular_hull([s.data_space for s in partition], context)
+                reads = [s.data_space for s in partition if not s.is_write]
+                writes = [s.data_space for s in partition if s.is_write]
+                dependent: Set[str] = set()
+                for space in partition:
+                    for expr in space.function.outputs:
+                        for loop in self.tile_loops:
+                            if expr.coefficient(loop) != 0:
+                                dependent.add(loop)
+                self.descriptors.append(
+                    MovementDescriptor(
+                        array_name=array_name,
+                        buffer_name=f"l_{array_name}_{index}",
+                        element_size=element_size,
+                        hull=hull,
+                        read_hull=rectangular_hull(reads, context) if reads else None,
+                        write_hull=rectangular_hull(writes, context) if writes else None,
+                        dependent_loops=dependent,
+                    )
+                )
+
+    def _tile_domain_statement(self, statement: Statement) -> Statement:
+        """Intersect the statement domain with a symbolic tile box."""
+        constraints = list(statement.domain.constraints)
+        extra_params: List[str] = []
+        for loop in self.tile_loops:
+            if loop not in statement.domain.dims:
+                continue
+            origin = f"{loop}{ORIGIN_SUFFIX}"
+            size = f"{loop}{SIZE_SUFFIX}"
+            extra_params.extend((origin, size))
+            var = AffineExpr.var(loop)
+            origin_var = AffineExpr.var(origin)
+            size_var = AffineExpr.var(size)
+            constraints.append(Constraint.greater_equal(var, origin_var))
+            constraints.append(Constraint.less_equal(var, origin_var + size_var - 1))
+        params = tuple(dict.fromkeys(tuple(statement.domain.params) + tuple(extra_params)))
+        domain = Polyhedron(statement.domain.dims, constraints, params)
+        return statement.with_domain(domain)
+
+    def _context(self) -> Polyhedron:
+        """Parameter context: origin within loop bounds, sizes at least 1."""
+        dims: List[str] = []
+        constraints: List[Constraint] = []
+        for loop in self.tile_loops:
+            origin = f"{loop}{ORIGIN_SUFFIX}"
+            size = f"{loop}{SIZE_SUFFIX}"
+            dims.extend((origin, size))
+            lower, upper = self._original_bounds(loop)
+            self._representative_origins[origin] = lower
+            constraints.append(Constraint.greater_equal(AffineExpr.var(origin), lower))
+            constraints.append(Constraint.less_equal(AffineExpr.var(origin), upper))
+            constraints.append(Constraint.greater_equal(AffineExpr.var(size), 1))
+        return Polyhedron(dims, constraints, tuple(self.program.params))
+
+    def _original_bounds(self, loop: str) -> Tuple[int, int]:
+        """Concrete bounds of an original loop (for representative origins)."""
+        from repro.polyhedral.parametric import parametric_bounds
+
+        for statement in self.program.statement_list:
+            if loop in statement.domain.dims:
+                bound = parametric_bounds(statement.domain, loop)
+                binding = dict(self.problem_params)
+                low = bound.lower.evaluate_int(binding)
+                high = bound.upper.evaluate_int(binding)
+                return low, high
+        raise ValueError(f"loop {loop!r} does not appear in any statement domain")
+
+    # -- evaluation ------------------------------------------------------------------
+    def _binding(self, tile_sizes: Mapping[str, float]) -> Dict[str, float]:
+        binding: Dict[str, float] = dict(self.problem_params)
+        binding.update(self._representative_origins)
+        for loop in self.tile_loops:
+            size = float(tile_sizes[loop])
+            binding[f"{loop}{SIZE_SUFFIX}"] = size
+        return binding
+
+    @staticmethod
+    def _hull_volume(hull: Optional[RectangularHull], binding: Mapping[str, float]) -> float:
+        if hull is None:
+            return 0.0
+        volume = 1.0
+        for dim in hull.dims:
+            lows: List[float] = []
+            highs: List[float] = []
+            for bounds in hull.member_bounds:
+                low = max(float(e.evaluate({k: _to_fraction(v) for k, v in binding.items()}))
+                          for e in bounds[dim].lower.exprs)
+                high = min(float(e.evaluate({k: _to_fraction(v) for k, v in binding.items()}))
+                           for e in bounds[dim].upper.exprs)
+                if high >= low:
+                    lows.append(low)
+                    highs.append(high)
+            if not lows:
+                return 0.0
+            volume *= max(max(highs) - min(lows) + 1.0, 0.0)
+        return volume
+
+    def buffer_details(self, tile_sizes: Mapping[str, float]) -> List[Dict[str, float]]:
+        """Per-buffer footprint, volumes and occurrence count for given tile sizes."""
+        binding = self._binding(tile_sizes)
+        details: List[Dict[str, float]] = []
+        for descriptor in self.descriptors:
+            footprint = self._hull_volume(descriptor.hull, binding)
+            volume_in = self._hull_volume(descriptor.read_hull, binding)
+            volume_out = self._hull_volume(descriptor.write_hull, binding)
+            occurrences = self._occurrences(descriptor, tile_sizes)
+            details.append(
+                {
+                    "buffer": descriptor.buffer_name,
+                    "array": descriptor.array_name,
+                    "footprint_elements": footprint,
+                    "footprint_bytes": footprint * descriptor.element_size,
+                    "volume_in": volume_in,
+                    "volume_out": volume_out,
+                    "occurrences": occurrences,
+                }
+            )
+        return details
+
+    def _occurrences(self, descriptor: MovementDescriptor, tile_sizes: Mapping[str, float]) -> float:
+        loops = self.tile_loops
+        if self.hoisting:
+            loops = [l for l in loops if l in descriptor.dependent_loops]
+        count = 1.0
+        for loop in loops:
+            size = max(float(tile_sizes[loop]), 1.0)
+            count *= math.ceil(self.loop_extents[loop] / size)
+        return count
+
+    def footprint_bytes(self, tile_sizes: Mapping[str, float]) -> float:
+        """Scratchpad bytes needed by one tile (the ``Σ M_i <= M_up`` constraint)."""
+        binding = self._binding(tile_sizes)
+        return sum(
+            self._hull_volume(d.hull, binding) * d.element_size for d in self.descriptors
+        )
+
+    def movement_cost(self, tile_sizes: Mapping[str, float]) -> float:
+        """The paper's objective ``Σ_k N_k (P·S + V_k·L/P)`` for copy-in and copy-out."""
+        total = 0.0
+        for entry in self.buffer_details(tile_sizes):
+            per_occurrence = 0.0
+            if entry["volume_in"] > 0:
+                per_occurrence += (
+                    self.threads * self.sync_cost
+                    + entry["volume_in"] * self.transfer_cost / self.threads
+                )
+            if entry["volume_out"] > 0:
+                per_occurrence += (
+                    self.threads * self.sync_cost
+                    + entry["volume_out"] * self.transfer_cost / self.threads
+                )
+            total += entry["occurrences"] * per_occurrence
+        return total
+
+    def work_per_tile(self, tile_sizes: Mapping[str, float]) -> float:
+        """Product of tile sizes (the ``t_1·...·t_m >= P`` occupancy constraint)."""
+        product = 1.0
+        for loop in self.tile_loops:
+            product *= float(tile_sizes[loop])
+        return product
+
+
+def _to_fraction(value):
+    from fractions import Fraction
+
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    return Fraction(value).limit_denominator(10**6)

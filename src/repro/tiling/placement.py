@@ -1,0 +1,79 @@
+"""Optimal placement (hoisting) of data-movement code — paper Section 4.2.
+
+A tiling loop is *redundant* for an array reference when the reference's
+access function does not depend on the loop's original iterator.  If every
+reference of a local buffer shares a redundant loop, the buffer's copy code
+can be hoisted above that loop: the staged data is then reused across the
+iterations of the redundant loop instead of being re-copied, which reduces the
+number of copy occurrences ``N`` in the cost model and enables better tile
+sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.ir.ast import LoopNode
+from repro.scratchpad.allocation import LocalBufferSpec
+
+
+def redundant_loops_for_buffer(
+    spec: LocalBufferSpec, original_loops: Sequence[str]
+) -> Set[str]:
+    """Original loop iterators on which no reference of the buffer depends."""
+    redundant: Set[str] = set()
+    for loop in original_loops:
+        depends = False
+        for space in spec.partition:
+            for expr in space.function.outputs:
+                if expr.coefficient(loop) != 0:
+                    depends = True
+                    break
+            if depends:
+                break
+        if not depends:
+            redundant.add(loop)
+    return redundant
+
+
+def hoist_level_for_buffer(
+    spec: LocalBufferSpec,
+    block_loops: Sequence[Tuple[str, str]],
+) -> int:
+    """How many innermost block-tiling loops the copy code can be hoisted out of.
+
+    ``block_loops`` lists the tiling loops enclosing the computational block,
+    outermost first, as pairs ``(tile iterator, original iterator)``.  The
+    copy code may move above a *suffix* of these loops when each of them is
+    redundant for every reference of the buffer; the returned integer is the
+    length of that suffix (0 = no hoisting, the paper's default placement).
+    """
+    redundant = redundant_loops_for_buffer(spec, [orig for _, orig in block_loops])
+    hoisted = 0
+    for _, original in reversed(list(block_loops)):
+        if original in redundant:
+            hoisted += 1
+        else:
+            break
+    return hoisted
+
+
+def placement_depths(
+    specs: Sequence[LocalBufferSpec],
+    block_loops: Sequence[Tuple[str, str]],
+    enable_hoisting: bool = True,
+) -> Dict[str, int]:
+    """Per-buffer placement depth: number of block loops enclosing the copy code.
+
+    With hoisting disabled every buffer sits inside all block loops (the
+    paper's default placement at the beginning/end of the tile); with hoisting
+    enabled, redundant innermost loops are peeled off per Section 4.2.
+    """
+    total = len(block_loops)
+    depths: Dict[str, int] = {}
+    for spec in specs:
+        if enable_hoisting:
+            depths[spec.local.name] = total - hoist_level_for_buffer(spec, block_loops)
+        else:
+            depths[spec.local.name] = total
+    return depths

@@ -1,0 +1,192 @@
+"""Tile-size search under a scratchpad-capacity constraint — paper Section 4.3.
+
+The search minimises the data-movement cost model over real-valued tile sizes
+with SLSQP (the scipy relative of the sequential quadratic programming the
+paper proposes), subject to
+
+* ``0 < t_i <= N_i`` for every tiled loop,
+* ``Σ_i M_i(t) <= M_up`` (the scratchpad capacity available to the process),
+* ``t_1 · t_2 · ... · t_m >= P_low`` (enough work to keep the inner-level
+  processes busy),
+
+then rounds the relaxed solution to integers: a small neighbourhood of
+divisor/power-of-two candidates around the relaxed optimum is evaluated
+exactly and the best feasible integer vector is returned.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.tiling.cost_model import DataMovementCostModel
+
+
+@dataclass
+class TileSearchProblem:
+    """Inputs of the tile-size optimisation."""
+
+    cost_model: DataMovementCostModel
+    memory_limit_bytes: float
+    min_parallelism: int
+    #: optional explicit candidate tile sizes per loop (e.g. powers of two);
+    #: derived from the relaxed optimum when omitted.
+    candidates: Optional[Dict[str, Sequence[int]]] = None
+
+    def __post_init__(self) -> None:
+        if self.memory_limit_bytes <= 0:
+            raise ValueError("memory_limit_bytes must be positive")
+        if self.min_parallelism <= 0:
+            raise ValueError("min_parallelism must be positive")
+
+
+@dataclass
+class TileSearchResult:
+    """Outcome of the search."""
+
+    tile_sizes: Dict[str, int]
+    cost: float
+    footprint_bytes: float
+    feasible: bool
+    relaxed_solution: Dict[str, float] = field(default_factory=dict)
+    evaluated_candidates: int = 0
+
+    def __str__(self) -> str:
+        sizes = ", ".join(f"{k}={v}" for k, v in self.tile_sizes.items())
+        status = "feasible" if self.feasible else "INFEASIBLE"
+        return f"tile sizes [{sizes}] cost={self.cost:.1f} footprint={self.footprint_bytes:.0f}B ({status})"
+
+
+def search_tile_sizes(
+    problem: TileSearchProblem,
+    initial: Optional[Mapping[str, float]] = None,
+) -> TileSearchResult:
+    """Run the relaxed SLSQP optimisation followed by integer rounding."""
+    model = problem.cost_model
+    loops = model.tile_loops
+    extents = [model.loop_extents[loop] for loop in loops]
+
+    def unpack(vector: np.ndarray) -> Dict[str, float]:
+        return {loop: float(max(value, 1.0)) for loop, value in zip(loops, vector)}
+
+    def objective(vector: np.ndarray) -> float:
+        return model.movement_cost(unpack(vector))
+
+    def memory_slack(vector: np.ndarray) -> float:
+        return problem.memory_limit_bytes - model.footprint_bytes(unpack(vector))
+
+    def work_slack(vector: np.ndarray) -> float:
+        return model.work_per_tile(unpack(vector)) - problem.min_parallelism
+
+    bounds = [(1.0, float(extent)) for extent in extents]
+    constraints = [
+        {"type": "ineq", "fun": memory_slack},
+        {"type": "ineq", "fun": work_slack},
+    ]
+
+    starts: List[np.ndarray] = []
+    if initial is not None:
+        starts.append(np.array([float(initial[loop]) for loop in loops]))
+    starts.append(np.array([max(extent / 4.0, 1.0) for extent in extents]))
+    starts.append(np.array([min(16.0, extent) for extent in extents]))
+    starts.append(np.array([float(extent) for extent in extents]))
+
+    best_relaxed: Optional[np.ndarray] = None
+    best_relaxed_cost = math.inf
+    for start in starts:
+        result = optimize.minimize(
+            objective,
+            start,
+            method="SLSQP",
+            bounds=bounds,
+            constraints=constraints,
+            options={"maxiter": 200, "ftol": 1e-6},
+        )
+        if not np.all(np.isfinite(result.x)):
+            continue
+        candidate = np.clip(result.x, [b[0] for b in bounds], [b[1] for b in bounds])
+        feasible = memory_slack(candidate) >= -1e-6 and work_slack(candidate) >= -1e-6
+        cost = objective(candidate)
+        if feasible and cost < best_relaxed_cost:
+            best_relaxed_cost = cost
+            best_relaxed = candidate
+    if best_relaxed is None:
+        # No feasible relaxed point found; fall back to the smallest tiles.
+        best_relaxed = np.array([1.0 for _ in loops])
+
+    relaxed = unpack(best_relaxed)
+    candidate_sets = _candidate_sets(problem, relaxed)
+    best: Optional[Tuple[Dict[str, int], float, float]] = None
+    evaluated = 0
+    for combination in itertools.product(*[candidate_sets[loop] for loop in loops]):
+        sizes = dict(zip(loops, combination))
+        evaluated += 1
+        footprint = model.footprint_bytes(sizes)
+        work = model.work_per_tile(sizes)
+        if footprint > problem.memory_limit_bytes or work < problem.min_parallelism:
+            continue
+        cost = model.movement_cost(sizes)
+        if best is None or cost < best[1] or (cost == best[1] and footprint < best[2]):
+            best = (sizes, cost, footprint)
+
+    if best is None:
+        # Nothing feasible among the integer candidates: report the smallest
+        # tile sizes with the infeasibility flagged.
+        sizes = {loop: 1 for loop in loops}
+        return TileSearchResult(
+            tile_sizes=sizes,
+            cost=model.movement_cost(sizes),
+            footprint_bytes=model.footprint_bytes(sizes),
+            feasible=False,
+            relaxed_solution=relaxed,
+            evaluated_candidates=evaluated,
+        )
+    sizes, cost, footprint = best
+    return TileSearchResult(
+        tile_sizes=sizes,
+        cost=cost,
+        footprint_bytes=footprint,
+        feasible=True,
+        relaxed_solution=relaxed,
+        evaluated_candidates=evaluated,
+    )
+
+
+def _candidate_sets(
+    problem: TileSearchProblem, relaxed: Mapping[str, float]
+) -> Dict[str, List[int]]:
+    """Integer candidates per loop around the relaxed optimum."""
+    model = problem.cost_model
+    sets: Dict[str, List[int]] = {}
+    for loop in model.tile_loops:
+        extent = model.loop_extents[loop]
+        if problem.candidates and loop in problem.candidates:
+            values = sorted({int(v) for v in problem.candidates[loop] if 1 <= v <= extent})
+            sets[loop] = values or [min(extent, 1)]
+            continue
+        value = relaxed[loop]
+        candidates = {
+            1,
+            extent,
+            int(math.floor(value)),
+            int(math.ceil(value)),
+            _power_of_two_at_most(value),
+            _power_of_two_at_least(value, extent),
+        }
+        candidates |= {c * 2 for c in list(candidates)} | {max(c // 2, 1) for c in candidates}
+        sets[loop] = sorted({c for c in candidates if 1 <= c <= extent})
+    return sets
+
+
+def _power_of_two_at_most(value: float) -> int:
+    return max(1, 2 ** int(math.floor(math.log2(max(value, 1.0)))))
+
+
+def _power_of_two_at_least(value: float, cap: int) -> int:
+    power = 2 ** int(math.ceil(math.log2(max(value, 1.0))))
+    return min(max(power, 1), cap)

@@ -1,0 +1,75 @@
+"""Exact rational-arithmetic helpers.
+
+The polyhedral layer works over the rationals so that projections, images and
+emptiness tests are exact.  Everything funnels through :class:`fractions.Fraction`;
+these helpers centralise the conversions and the handful of integer-rounding
+operations (ceil/floor division) that quasi-affine bounds need.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Union
+
+Rational = Union[int, Fraction]
+
+
+def as_fraction(value: Union[int, float, str, Fraction]) -> Fraction:
+    """Convert *value* to an exact :class:`Fraction`.
+
+    Floats are accepted only when they are exactly representable as a ratio of
+    small integers (``Fraction(value).limit_denominator`` is *not* applied); a
+    float that carries rounding noise raises ``ValueError`` so that inexact
+    data never silently enters the exact layer.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("booleans are not valid rational values")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, str):
+        return Fraction(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite float {value!r} cannot become a Fraction")
+        frac = Fraction(value)
+        if frac.denominator > 1_000_000:
+            raise ValueError(
+                f"float {value!r} does not look like an exact rational; "
+                "pass a Fraction or an int instead"
+            )
+        return frac
+    raise TypeError(f"cannot interpret {type(value).__name__} as a rational number")
+
+
+def fraction_floor(value: Rational) -> int:
+    """Exact floor of a rational value, returned as ``int``."""
+    frac = as_fraction(value)
+    return frac.numerator // frac.denominator
+
+
+def fraction_ceil(value: Rational) -> int:
+    """Exact ceiling of a rational value, returned as ``int``."""
+    frac = as_fraction(value)
+    return -((-frac.numerator) // frac.denominator)
+
+
+def gcd_many(values: Iterable[int]) -> int:
+    """Greatest common divisor of an iterable of integers (0 for empty)."""
+    result = 0
+    for v in values:
+        result = math.gcd(result, int(v))
+    return result
+
+
+def lcm_many(values: Iterable[int]) -> int:
+    """Least common multiple of an iterable of integers (1 for empty)."""
+    result = 1
+    for v in values:
+        v = abs(int(v))
+        if v == 0:
+            continue
+        result = result * v // math.gcd(result, v)
+    return result

@@ -1,0 +1,31 @@
+"""Lightweight argument-validation helpers.
+
+These keep precondition checks one-liners at public API boundaries while
+producing error messages that name the offending argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_type(value: Any, types: Union[Type, Tuple[Type, ...]], name: str) -> None:
+    """Raise ``TypeError`` unless *value* is an instance of *types*."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = ", ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(f"{name} must be of type {expected}, got {type(value).__name__}")
+
+
+def require_positive(value: Union[int, float], name: str) -> None:
+    """Raise ``ValueError`` unless *value* is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")

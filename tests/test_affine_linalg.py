@@ -1,0 +1,157 @@
+"""Unit tests for affine expressions, affine functions and exact linear algebra."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.polyhedral import linalg
+from repro.polyhedral.affine import AffineExpr, AffineFunction
+
+
+class TestAffineExpr:
+    def test_var_and_const(self):
+        expr = AffineExpr.var("i") + 3
+        assert expr.coefficient("i") == 1
+        assert expr.constant == 3
+
+    def test_zero_coefficients_dropped(self):
+        expr = AffineExpr({"i": 0, "j": 2})
+        assert expr.variables == ("j",)
+
+    def test_addition_merges(self):
+        expr = AffineExpr.var("i") + AffineExpr.var("i") + AffineExpr.var("j")
+        assert expr.coefficient("i") == 2
+        assert expr.coefficient("j") == 1
+
+    def test_subtraction_and_negation(self):
+        expr = 2 * AffineExpr.var("i") - AffineExpr.var("i")
+        assert expr == AffineExpr.var("i")
+        assert (-expr).coefficient("i") == -1
+
+    def test_scalar_multiplication_and_division(self):
+        expr = (AffineExpr.var("i") + 1) * 3 / 2
+        assert expr.coefficient("i") == Fraction(3, 2)
+        assert expr.constant == Fraction(3, 2)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            AffineExpr.var("i") / 0
+
+    def test_evaluate(self):
+        expr = 2 * AffineExpr.var("i") + AffineExpr.var("N") - 5
+        assert expr.evaluate({"i": 3, "N": 10}) == 11
+
+    def test_evaluate_missing_raises(self):
+        with pytest.raises(KeyError):
+            AffineExpr.var("i").evaluate({})
+
+    def test_substitute_partial(self):
+        expr = AffineExpr.var("i") + AffineExpr.var("j")
+        result = expr.substitute({"i": AffineExpr.var("k") + 1})
+        assert result == AffineExpr.var("k") + AffineExpr.var("j") + 1
+
+    def test_rename(self):
+        expr = AffineExpr.var("i") - 2
+        assert expr.rename({"i": "x"}) == AffineExpr.var("x") - 2
+
+    def test_rename_merges_collisions(self):
+        expr = AffineExpr.var("i") + AffineExpr.var("j")
+        assert expr.rename({"j": "i"}).coefficient("i") == 2
+
+    def test_linear_combination(self):
+        expr = AffineExpr.linear_combination(["i", "j"], [2, -1], 4)
+        assert expr.coefficient("j") == -1 and expr.constant == 4
+
+    def test_linear_combination_length_mismatch(self):
+        with pytest.raises(ValueError):
+            AffineExpr.linear_combination(["i"], [1, 2])
+
+    def test_hash_and_equality(self):
+        assert hash(AffineExpr.var("i") + 1) == hash(1 + AffineExpr.var("i"))
+
+    def test_depends_on(self):
+        expr = AffineExpr.var("i") + AffineExpr.var("N")
+        assert expr.depends_on(["N"]) and not expr.depends_on(["j"])
+
+    def test_str_roundtrip_readable(self):
+        text = str(2 * AffineExpr.var("i") - AffineExpr.var("j") + 1)
+        assert "2*i" in text and "- j" in text
+
+
+class TestAffineFunction:
+    def test_identity(self):
+        fn = AffineFunction.identity(["i", "j"])
+        assert fn.apply({"i": 2, "j": 5}) == (2, 5)
+
+    def test_rank_full(self):
+        fn = AffineFunction(["i", "j"], [AffineExpr.var("i"), AffineExpr.var("j") + 1])
+        assert fn.rank() == 2
+
+    def test_rank_deficient(self):
+        fn = AffineFunction(["i", "j", "k"], [AffineExpr.var("i"), AffineExpr.var("k")])
+        assert fn.rank() == 2  # rank 2 < 3 input dims: order-of-magnitude reuse
+
+    def test_parameters_excludes_inputs(self):
+        fn = AffineFunction(["i"], [AffineExpr.var("i") + AffineExpr.var("N")])
+        assert fn.parameters == ("N",)
+
+    def test_from_matrix(self):
+        fn = AffineFunction.from_matrix(["i", "j"], [[1, 1], [0, 1]], [0, 1])
+        assert fn.apply({"i": 2, "j": 3}) == (5, 4)
+
+    def test_compose(self):
+        outer = AffineFunction(["x"], [2 * AffineExpr.var("x")])
+        inner = AffineFunction(["i"], [AffineExpr.var("i") + 1])
+        assert outer.compose(inner).apply({"i": 3}) == (8,)
+
+    def test_translate(self):
+        fn = AffineFunction(["i"], [AffineExpr.var("i")])
+        assert fn.translate([10]).apply({"i": 12}) == (2,)
+
+    def test_translate_length_mismatch(self):
+        with pytest.raises(ValueError):
+            AffineFunction(["i"], [AffineExpr.var("i")]).translate([1, 2])
+
+    def test_rename_inputs(self):
+        fn = AffineFunction(["i"], [AffineExpr.var("i") + 1]).rename_inputs({"i": "x"})
+        assert fn.inputs == ("x",) and fn.apply({"x": 1}) == (2,)
+
+    def test_drop_output_dims(self):
+        fn = AffineFunction(["i"], [AffineExpr.var("i"), AffineExpr.const(0)])
+        assert fn.drop_output_dims([1]).output_dim == 1
+
+
+class TestLinalg:
+    def test_rank(self):
+        assert linalg.matrix_rank([[1, 2], [2, 4]]) == 1
+        assert linalg.matrix_rank([[1, 0], [0, 1]]) == 2
+        assert linalg.matrix_rank([]) == 0
+
+    def test_nullspace_orthogonal(self):
+        basis = linalg.nullspace([[1, 1, 0]])
+        assert len(basis) == 2
+        for vector in basis:
+            assert vector[0] + vector[1] == 0
+
+    def test_solve_consistent(self):
+        solution = linalg.solve([[2, 0], [0, 3]], [4, 9])
+        assert solution == [Fraction(2), Fraction(3)]
+
+    def test_solve_inconsistent(self):
+        assert linalg.solve([[1, 1], [1, 1]], [1, 2]) is None
+
+    def test_solve_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            linalg.solve([[1, 0]], [1, 2])
+
+    def test_matmul(self):
+        product = linalg.matmul([[1, 2]], [[3], [4]])
+        assert product == [[Fraction(11)]]
+
+    def test_matmul_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            linalg.matmul([[1, 2]], [[1, 2]])
+
+    def test_identity_and_integer_check(self):
+        assert linalg.is_integer_matrix(linalg.identity(3))
+        assert not linalg.is_integer_matrix([[Fraction(1, 2)]])

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen.union_scan import make_disjoint
+from repro.ir import ProgramBuilder
+from repro.polyhedral.affine import AffineExpr, AffineFunction
+from repro.polyhedral.counting import count_integer_points, union_point_count
+from repro.polyhedral.hull import rectangular_hull
+from repro.polyhedral.image import image_of_polyhedron
+from repro.polyhedral.polyhedron import Polyhedron
+from repro.runtime import run_program
+from repro.scratchpad import ScratchpadManager, ScratchpadOptions
+
+coeffs = st.integers(min_value=-4, max_value=4)
+constants = st.integers(min_value=-10, max_value=10)
+names = st.sampled_from(["i", "j", "k"])
+
+
+@st.composite
+def affine_exprs(draw):
+    terms = draw(st.dictionaries(names, coeffs, max_size=3))
+    return AffineExpr(terms, draw(constants))
+
+
+@st.composite
+def boxes(draw, dims=("i", "j")):
+    bounds = {}
+    for dim in dims:
+        low = draw(st.integers(min_value=-5, max_value=5))
+        extent = draw(st.integers(min_value=0, max_value=6))
+        bounds[dim] = (low, low + extent)
+    return Polyhedron.from_bounds(bounds, dim_order=list(dims))
+
+
+class TestAffineAlgebra:
+    @given(affine_exprs(), affine_exprs())
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(affine_exprs(), affine_exprs(), affine_exprs())
+    def test_addition_associates(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(affine_exprs(), st.integers(min_value=-5, max_value=5))
+    def test_scalar_distributes(self, a, s):
+        assert (a + a) * s == a * s + a * s
+
+    @given(affine_exprs(), st.dictionaries(names, constants, min_size=3, max_size=3))
+    def test_evaluation_is_linear(self, a, binding):
+        doubled = a * 2
+        assert doubled.evaluate(binding) == 2 * a.evaluate(binding)
+
+    @given(affine_exprs())
+    def test_negation_is_involution(self, a):
+        assert -(-a) == a
+
+
+class TestPolyhedralInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(boxes(), boxes())
+    def test_intersection_is_subset(self, a, b):
+        inter = a.intersect(b)
+        if not inter.is_empty():
+            assert inter.is_subset_of(a) and inter.is_subset_of(b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(boxes(), boxes())
+    def test_inclusion_exclusion_on_boxes(self, a, b):
+        union = union_point_count([a, b])
+        assert union == count_integer_points(a) + count_integer_points(b) - count_integer_points(
+            a.intersect(b)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(boxes(), boxes())
+    def test_disjoint_decomposition_preserves_union(self, a, b):
+        pieces = make_disjoint([a, b])
+        assert union_point_count(pieces) == union_point_count([a, b])
+        for i, first in enumerate(pieces):
+            for second in pieces[i + 1 :]:
+                assert not first.intersects(second)
+
+    @settings(max_examples=25, deadline=None)
+    @given(boxes(dims=("i",)), st.integers(min_value=-3, max_value=3), constants)
+    def test_image_count_of_injective_map_is_preserved(self, box, scale, shift):
+        if scale == 0:
+            scale = 1
+        fn = AffineFunction(["i"], [scale * AffineExpr.var("i") + shift])
+        img = image_of_polyhedron(box, fn, ["d"])
+        # The rational image of a 1-D box under an injective map contains at
+        # least as many integer points as the source has (equality for |scale|=1).
+        if abs(scale) == 1:
+            assert count_integer_points(img) == count_integer_points(box)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(boxes(), min_size=1, max_size=3))
+    def test_hull_contains_every_member_point(self, members):
+        hull = rectangular_hull(members)
+        box = hull.evaluate_box()
+        for member in members:
+            for point in member.integer_points():
+                for dim, value in point.items():
+                    low, high = box[dim]
+                    assert low <= value <= high
+
+
+class TestTransformationInvariant:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=2),
+    )
+    def test_scratchpad_transformation_preserves_stencil_semantics(self, n, radius_seed, offset):
+        """For random small stencils, the staged program equals the original."""
+        builder = ProgramBuilder("prop_stencil")
+        size = n + 2 * radius_seed + offset + 2
+        a = builder.array("A", (size,))
+        b = builder.array("B", (size,))
+        i = builder.var("i")
+        with builder.loop("i", radius_seed, radius_seed + n - 1):
+            builder.assign(b[i + offset], a[i - radius_seed] + a[i + radius_seed])
+        program = builder.build()
+        manager = ScratchpadManager(ScratchpadOptions(target="cell"))
+        transformed, _ = manager.apply(program)
+        data = np.random.default_rng(n).random(size)
+        reference = run_program(program, inputs={"A": data.copy(), "B": np.zeros(size)})
+        staged = run_program(transformed, inputs={"A": data.copy(), "B": np.zeros(size)})
+        assert np.allclose(reference.data("B"), staged.data("B"))

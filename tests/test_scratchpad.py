@@ -1,0 +1,284 @@
+"""Tests for the scratchpad data-management framework (paper Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import ProgramBuilder, program_to_c
+from repro.runtime import run_program
+from repro.scratchpad import (
+    ScratchpadManager,
+    ScratchpadOptions,
+    allocate_local_buffer,
+    build_remap_table,
+    classify_copies,
+    compute_reference_data_spaces,
+    evaluate_reuse,
+    generate_data_movement,
+    partition_overlapping,
+    remap_statement,
+)
+
+
+def fig1_program():
+    """The worked example of the paper's Fig. 1."""
+    b = ProgramBuilder("fig1")
+    A = b.array("A", (200, 200))
+    B = b.array("B", (200, 200))
+    i, j, k = b.var("i"), b.var("j"), b.var("k")
+    with b.loop("i", 10, 14):
+        with b.loop("j", 10, 14):
+            b.assign(A[i, j + 1], A[i + j, j + 1] * 3, name="S1")
+            with b.loop("k", 11, 20):
+                b.assign(B[i, j + k], A[i, k] + B[i + j, k], name="S2")
+    return b.build()
+
+
+def matmul_program(n=6):
+    b = ProgramBuilder("mm")
+    A = b.array("A", (n, n))
+    B = b.array("B", (n, n))
+    C = b.array("C", (n, n))
+    i, j, k = b.var("i"), b.var("j"), b.var("k")
+    with b.loop("i", 0, n - 1):
+        with b.loop("j", 0, n - 1):
+            with b.loop("k", 0, n - 1):
+                b.assign(C[i, j], A[i, k] * B[k, j], reduction="+")
+    return b.build()
+
+
+class TestDataSpaces:
+    def test_per_array_grouping(self):
+        spaces = compute_reference_data_spaces(fig1_program().statement_list)
+        assert set(spaces) == {"A", "B"}
+        # write A[i][j+1] and read A[i+j][j+1] in S1, read A[i][k] in S2
+        assert len(spaces["A"]) == 3
+
+    def test_data_space_boxes(self):
+        spaces = compute_reference_data_spaces(fig1_program().statement_list)
+        boxes = sorted(
+            tuple(s.data_space.bounding_box().values()) for s in spaces["A"]
+        )
+        assert ((10, 14), (11, 15)) in boxes
+        assert ((20, 28), (11, 15)) in boxes
+        assert ((10, 14), (11, 20)) in boxes
+
+    def test_rank_based_reuse_flag(self):
+        spaces = compute_reference_data_spaces(fig1_program().statement_list)
+        ranks = {str(s.function): s.has_order_of_magnitude_reuse for s in spaces["A"]}
+        # A[i][k] in the 3-deep statement has rank 2 < 3.
+        assert any(ranks.values())
+
+
+class TestPartitioning:
+    def test_fig1_partitions(self):
+        spaces = compute_reference_data_spaces(fig1_program().statement_list)
+        partitions = partition_overlapping(spaces["A"])
+        assert len(partitions) == 2  # rows 10–14 group and the disjoint rows 20–28 group
+        sizes = sorted(len(p) for p in partitions)
+        assert sizes == [1, 2]
+
+    def test_empty_input(self):
+        assert partition_overlapping([]) == []
+
+    def test_non_overlapping_references_split(self):
+        b = ProgramBuilder("split")
+        A = b.array("A", (100,))
+        B = b.array("B", (100,))
+        i = b.var("i")
+        with b.loop("i", 0, 9):
+            b.assign(B[i], A[i] + A[i + 50])
+        spaces = compute_reference_data_spaces(b.build().statement_list)
+        assert len(partition_overlapping(spaces["A"])) == 2
+
+
+class TestReuse:
+    def test_rank_deficiency_beneficial(self):
+        spaces = compute_reference_data_spaces(matmul_program().statement_list)
+        for array in ("A", "B", "C"):
+            decision = evaluate_reuse(partition_overlapping(spaces[array])[0])
+            assert decision.beneficial and decision.order_of_magnitude
+
+    def test_streaming_not_beneficial(self):
+        b = ProgramBuilder("copy")
+        A = b.array("A", (64,))
+        B = b.array("B", (64,))
+        i = b.var("i")
+        with b.loop("i", 0, 63):
+            b.assign(B[i], A[i] * 2)
+        spaces = compute_reference_data_spaces(b.build().statement_list)
+        decision = evaluate_reuse(partition_overlapping(spaces["A"])[0], param_binding={})
+        assert not decision.beneficial
+
+    def test_constant_overlap_beneficial(self):
+        b = ProgramBuilder("stencil")
+        A = b.array("A", (66,))
+        B = b.array("B", (66,))
+        i = b.var("i")
+        with b.loop("i", 1, 64):
+            b.assign(B[i], (A[i - 1] + A[i] + A[i + 1]) / 3)
+        spaces = compute_reference_data_spaces(b.build().statement_list)
+        decision = evaluate_reuse(partition_overlapping(spaces["A"])[0], param_binding={})
+        assert decision.beneficial and decision.overlap_fraction > 0.3
+
+    def test_delta_validation(self):
+        spaces = compute_reference_data_spaces(matmul_program().statement_list)
+        with pytest.raises(ValueError):
+            evaluate_reuse(partition_overlapping(spaces["A"])[0], delta=2.0)
+
+
+class TestAllocationRemapMovement:
+    def _buffer_for(self, program, array_name):
+        spaces = compute_reference_data_spaces(program.statement_list)
+        partition = partition_overlapping(spaces[array_name])[0]
+        array = partition[0].array
+        return allocate_local_buffer(array, partition)
+
+    def test_fig1_buffer_shapes_single_partition_mode(self):
+        program = fig1_program()
+        manager = ScratchpadManager(
+            ScratchpadOptions(target="cell", single_buffer_per_array=True)
+        )
+        plan = manager.plan(program)
+        shapes = {p.spec.local.name: p.spec.local.shape for p in plan.buffers}
+        assert shapes["l_A"] == (19, 10)   # LA[19][10] in the paper
+        assert shapes["l_B"] == (19, 24)   # LB[19][24] in the paper
+        offsets = {p.spec.local.name: tuple(str(o) for o in p.spec.offsets) for p in plan.buffers}
+        assert offsets["l_A"] == ("10", "11")
+
+    def test_remap_produces_local_loads(self):
+        program = matmul_program()
+        spaces = compute_reference_data_spaces(program.statement_list)
+        specs = [
+            allocate_local_buffer(p[0].array, p)
+            for name in spaces
+            for p in partition_overlapping(spaces[name])
+        ]
+        table = build_remap_table(specs)
+        remapped = remap_statement(program.statement_list[0], table)
+        assert remapped.lhs.array.is_local
+        assert all(load.array.is_local for load in remapped.rhs.loads())
+
+    def test_movement_volumes(self):
+        program = matmul_program(6)
+        spec = self._buffer_for(program, "A")
+        movement = generate_data_movement(spec)
+        assert movement.volume_in() == 36 and movement.volume_out() == 0
+        spec_c = self._buffer_for(program, "C")
+        movement_c = generate_data_movement(spec_c)
+        assert movement_c.volume_in() == 36 and movement_c.volume_out() == 36
+
+    def test_copy_nodes_kinds(self):
+        from repro.ir.ast import StatementNode
+
+        spec = self._buffer_for(matmul_program(4), "C")
+        movement = generate_data_movement(spec)
+        kinds = {node.kind for node in movement.copy_in.walk() if isinstance(node, StatementNode)}
+        assert kinds == {"copy_in"}
+
+    def test_allocation_rejects_mixed_arrays(self):
+        program = matmul_program(4)
+        spaces = compute_reference_data_spaces(program.statement_list)
+        partition = partition_overlapping(spaces["A"])[0]
+        with pytest.raises(ValueError):
+            allocate_local_buffer(program.array("B"), partition)
+
+
+class TestLiveness:
+    def test_input_array_needs_copy_in(self):
+        program = matmul_program(4)
+        classification = classify_copies(program.statement_list)
+        assert classification.needs_copy_in("A")
+        assert classification.needs_copy_out("C")
+
+    def test_dead_output_skips_copy_out(self):
+        program = matmul_program(4)
+        classification = classify_copies(program.statement_list, live_out=["A"])
+        assert not classification.needs_copy_out("C")
+
+    def test_internal_temp_skips_copy_in(self):
+        b = ProgramBuilder("tmp")
+        A = b.array("A", (16,))
+        T = b.array("T", (16,))
+        B = b.array("B", (16,))
+        i = b.var("i")
+        j = b.var("j")
+        with b.loop("i", 0, 15):
+            b.assign(T[i], A[i] * 2, name="produce")
+        with b.loop("j", 0, 15):
+            b.assign(B[j], T[j] + 1, name="consume")
+        classification = classify_copies(b.build().statement_list)
+        assert not classification.needs_copy_in("T")
+        assert classification.needs_copy_in("A")
+
+    def test_shared_iterator_name_stays_conservative(self):
+        """When producer and consumer nests reuse the same iterator name the
+        analysis cannot prove ordering element-wise and keeps the copy-in."""
+        b = ProgramBuilder("tmp2")
+        A = b.array("A", (16,))
+        T = b.array("T", (16,))
+        B = b.array("B", (16,))
+        i = b.var("i")
+        with b.loop("i", 0, 15):
+            b.assign(T[i], A[i] * 2, name="produce")
+        with b.loop("i2", 0, 15):
+            b.assign(B[b.var("i2")], T[b.var("i2") - 1] + 1, name="consume")
+        classification = classify_copies(b.build().statement_list)
+        # The consumer reads T[-1..14]; index -1 is outside the produced region,
+        # so the read is upward exposed and copy-in must stay.
+        assert classification.needs_copy_in("T")
+
+
+class TestManagerEndToEnd:
+    @pytest.mark.parametrize("single", [False, True])
+    def test_fig1_semantics_preserved(self, single):
+        program = fig1_program()
+        manager = ScratchpadManager(
+            ScratchpadOptions(target="cell", single_buffer_per_array=single)
+        )
+        transformed, plan = manager.apply(program)
+        rng = np.random.default_rng(0)
+        a0, b0 = rng.random((200, 200)), rng.random((200, 200))
+        reference = run_program(program, inputs={"A": a0.copy(), "B": b0.copy()})
+        staged = run_program(transformed, inputs={"A": a0.copy(), "B": b0.copy()})
+        assert np.allclose(reference.data("A"), staged.data("A"))
+        assert np.allclose(reference.data("B"), staged.data("B"))
+        assert plan.total_footprint_bytes() > 0
+
+    def test_gpu_policy_skips_streaming_arrays(self):
+        b = ProgramBuilder("saxpy")
+        X = b.array("X", (64,))
+        Y = b.array("Y", (64,))
+        i = b.var("i")
+        with b.loop("i", 0, 63):
+            b.assign(Y[i], X[i] * 2 + Y[i])
+        program = b.build()
+        plan = ScratchpadManager(ScratchpadOptions(target="gpu", param_binding={})).plan(program)
+        # X is streamed once (no reuse) and stays in global memory; Y is both
+        # read and written (overlap fraction 0.5 > delta) and gets staged.
+        assert [name for name, _ in plan.skipped] == ["X"]
+        assert {entry.spec.original.name for entry in plan.buffers} == {"Y"}
+
+    def test_cell_policy_stages_everything(self):
+        b = ProgramBuilder("saxpy")
+        X = b.array("X", (64,))
+        Y = b.array("Y", (64,))
+        i = b.var("i")
+        with b.loop("i", 0, 63):
+            b.assign(Y[i], X[i] * 2 + Y[i])
+        plan = ScratchpadManager(ScratchpadOptions(target="cell", param_binding={})).plan(b.build())
+        assert len(plan.buffers) == 2
+
+    def test_transformed_program_counts_local_accesses(self):
+        program = matmul_program(5)
+        transformed, _ = ScratchpadManager(ScratchpadOptions(target="cell")).apply(program)
+        ctx = run_program(transformed)
+        assert ctx.counters.local_reads > 0 and ctx.counters.local_writes > 0
+
+    def test_plan_summary_mentions_buffers(self):
+        plan = ScratchpadManager(ScratchpadOptions(target="cell")).plan(matmul_program(4))
+        assert "buffer" in plan.summary()
+
+    def test_transformed_c_output_declares_shared_buffers(self):
+        transformed, _ = ScratchpadManager(ScratchpadOptions(target="cell")).apply(matmul_program(4))
+        text = program_to_c(transformed)
+        assert "__shared__" in text

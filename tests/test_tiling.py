@@ -1,0 +1,229 @@
+"""Tests for bands, skewing, multi-level tiling, placement, cost model and the
+tile-size search (paper Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import ProgramBuilder, absolute
+from repro.kernels import build_jacobi_time_program, build_me_program
+from repro.runtime import run_program
+from repro.tiling import (
+    TilingLevelSpec,
+    analyze_bands,
+    apply_skewing,
+    find_legal_skewing,
+    hoist_level_for_buffer,
+    occupancy_limited_blocks,
+    redundant_loops_for_buffer,
+    search_tile_sizes,
+    tile_program,
+)
+from repro.tiling.cost_model import DataMovementCostModel
+from repro.tiling.mapping import LaunchGeometry, blocks_for_extent
+from repro.tiling.tile_search import TileSearchProblem
+from repro.scratchpad import compute_reference_data_spaces, partition_overlapping, allocate_local_buffer
+
+
+def small_me():
+    return build_me_program(8, 8, window=4)
+
+
+class TestBands:
+    def test_me_space_and_time_loops(self):
+        analysis = analyze_bands(small_me())
+        assert analysis.space_loops == ("i", "j")
+        assert set(analysis.time_loops) == {"k", "l"}
+        assert not analysis.needs_global_synchronization
+
+    def test_jacobi_needs_global_sync(self):
+        analysis = analyze_bands(build_jacobi_time_program(12, 4))
+        assert "t" in analysis.time_loops
+        assert analysis.carried["t"] > 0
+
+    def test_parallel_loops_carry_nothing(self):
+        analysis = analyze_bands(small_me())
+        for loop in analysis.parallel_loops:
+            assert analysis.carried[loop] == 0
+
+    def test_empty_program_rejected(self):
+        from repro.ir.program import Program
+
+        with pytest.raises(ValueError):
+            analyze_bands(Program("empty"))
+
+
+class TestSkewing:
+    def test_jacobi_skew_factor_one(self):
+        program = build_jacobi_time_program(10, 4)
+        assert find_legal_skewing(program, "t", "i") == 1
+
+    def test_already_legal_needs_no_skew(self):
+        analysis_program = small_me()
+        assert find_legal_skewing(analysis_program, "i", "j") == 0
+
+    def test_apply_skewing_preserves_semantics(self):
+        program = build_jacobi_time_program(10, 4)
+        skewed = apply_skewing(program, "t", "i", 1)
+        reference = run_program(program, inputs={"A": _jacobi_init(10, 4)})
+        transformed = run_program(skewed, inputs={"A": _jacobi_init(10, 4)})
+        assert np.allclose(reference.data("A"), transformed.data("A"))
+
+    def test_apply_skewing_factor_zero_is_identity(self):
+        program = build_jacobi_time_program(8, 2)
+        assert apply_skewing(program, "t", "i", 0) is program
+
+    def test_skewed_band_is_permutable(self):
+        program = build_jacobi_time_program(10, 4)
+        skewed = apply_skewing(program, "t", "i", 1)
+        analysis = analyze_bands(skewed)
+        assert set(analysis.permutable_band) >= {"t", "is"}
+
+
+def _jacobi_init(n, t):
+    data = np.zeros((t + 1, n + 2))
+    data[0] = np.arange(n + 2)
+    return data
+
+
+class TestMultiLevelTiling:
+    def test_fig3_structure_and_semantics(self):
+        program = small_me()
+        levels = [
+            TilingLevelSpec(sizes={"i": 4, "j": 4}, parallel="blocks", suffix="T"),
+            TilingLevelSpec(sizes={"i": 2, "j": 2, "k": 4, "l": 4}, suffix="p"),
+            TilingLevelSpec(sizes={"i": 1, "j": 2}, parallel="threads", suffix="t"),
+        ]
+        tiled = tile_program(program, levels)
+        assert [loop.iterator for loop in tiled.block_loops()] == ["iT", "jT", "ip", "jp", "kp", "lp"]
+        reference = run_program(program)
+        transformed = run_program(tiled.program)
+        assert np.allclose(reference.data("SAD"), transformed.data("SAD"))
+
+    def test_non_divisible_tile_sizes_still_correct(self):
+        program = small_me()
+        levels = [TilingLevelSpec(sizes={"i": 3, "j": 5}, parallel="blocks")]
+        tiled = tile_program(program, levels)
+        reference = run_program(program)
+        transformed = run_program(tiled.program)
+        assert np.allclose(reference.data("SAD"), transformed.data("SAD"))
+
+    def test_statement_domains_gain_tile_parameters(self):
+        tiled = tile_program(small_me(), [TilingLevelSpec(sizes={"i": 4}, parallel="blocks")])
+        stmt = tiled.program.statement("sad_update")
+        assert "iT" in stmt.domain.params
+
+    def test_unknown_loop_rejected(self):
+        with pytest.raises(ValueError):
+            tile_program(small_me(), [TilingLevelSpec(sizes={"z": 4})])
+
+    def test_requires_perfect_nest(self):
+        b = ProgramBuilder("imperfect")
+        A = b.array("A", (8,))
+        i = b.var("i")
+        with b.loop("i", 0, 3):
+            b.assign(A[i], 1)
+        with b.loop("i2", 0, 3):
+            b.assign(A[b.var("i2") + 4], 2)
+        with pytest.raises(ValueError):
+            tile_program(b.build(), [TilingLevelSpec(sizes={"i": 2})])
+
+    def test_invalid_tile_size_rejected(self):
+        with pytest.raises(ValueError):
+            TilingLevelSpec(sizes={"i": 0})
+
+
+class TestPlacement:
+    def _sad_buffer(self):
+        program = small_me()
+        spaces = compute_reference_data_spaces(program.statement_list)
+        partition = partition_overlapping(spaces["SAD"])[0]
+        return allocate_local_buffer(program.array("SAD"), partition)
+
+    def test_sad_copy_hoists_out_of_window_loops(self):
+        spec = self._sad_buffer()
+        redundant = redundant_loops_for_buffer(spec, ["i", "j", "k", "l"])
+        assert redundant == {"k", "l"}
+        block_loops = [("ip", "i"), ("jp", "j"), ("kp", "k"), ("lp", "l")]
+        assert hoist_level_for_buffer(spec, block_loops) == 2
+
+    def test_frame_buffer_not_hoistable(self):
+        program = small_me()
+        spaces = compute_reference_data_spaces(program.statement_list)
+        partition = partition_overlapping(spaces["Cur"])[0]
+        spec = allocate_local_buffer(program.array("Cur"), partition)
+        assert hoist_level_for_buffer(spec, [("ip", "i"), ("jp", "j"), ("kp", "k"), ("lp", "l")]) == 0
+
+
+class TestCostModelAndSearch:
+    @pytest.fixture(scope="class")
+    def me_model(self):
+        program = build_me_program(64, 64, window=16)
+        return DataMovementCostModel(
+            program=program,
+            tile_loops=["i", "j", "k", "l"],
+            loop_extents={"i": 64, "j": 64, "k": 16, "l": 16},
+            threads=64,
+            sync_cost=8.0,
+            transfer_cost=4.0,
+        )
+
+    def test_footprint_grows_with_tiles(self, me_model):
+        small = me_model.footprint_bytes({"i": 8, "j": 8, "k": 16, "l": 16})
+        large = me_model.footprint_bytes({"i": 32, "j": 32, "k": 16, "l": 16})
+        assert large > small > 0
+
+    def test_cost_decreases_with_larger_tiles(self, me_model):
+        cost_small = me_model.movement_cost({"i": 8, "j": 8, "k": 16, "l": 16})
+        cost_large = me_model.movement_cost({"i": 32, "j": 16, "k": 16, "l": 16})
+        assert cost_large < cost_small
+
+    def test_buffer_details_structure(self, me_model):
+        details = me_model.buffer_details({"i": 16, "j": 16, "k": 16, "l": 16})
+        arrays = {d["array"] for d in details}
+        assert {"Cur", "Ref", "SAD"} <= arrays
+        for entry in details:
+            assert entry["footprint_bytes"] > 0 and entry["occurrences"] >= 1
+
+    def test_search_respects_memory_limit(self, me_model):
+        problem = TileSearchProblem(
+            cost_model=me_model, memory_limit_bytes=16 * 1024, min_parallelism=64
+        )
+        result = search_tile_sizes(problem)
+        assert result.feasible
+        assert result.footprint_bytes <= 16 * 1024
+        assert me_model.work_per_tile(result.tile_sizes) >= 64
+
+    def test_search_prefers_larger_tiles_with_more_memory(self, me_model):
+        tight = search_tile_sizes(
+            TileSearchProblem(cost_model=me_model, memory_limit_bytes=4 * 1024, min_parallelism=32)
+        )
+        roomy = search_tile_sizes(
+            TileSearchProblem(cost_model=me_model, memory_limit_bytes=16 * 1024, min_parallelism=32)
+        )
+        assert roomy.cost <= tight.cost
+
+    def test_invalid_problem_rejected(self, me_model):
+        with pytest.raises(ValueError):
+            TileSearchProblem(cost_model=me_model, memory_limit_bytes=0, min_parallelism=32)
+
+
+class TestMapping:
+    def test_occupancy_limit(self):
+        assert occupancy_limited_blocks(2048, 16 * 1024) == 8
+        assert occupancy_limited_blocks(6 * 1024, 16 * 1024) == 2
+        assert occupancy_limited_blocks(20 * 1024, 16 * 1024) == 0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            LaunchGeometry(num_blocks=0, threads_per_block=32)
+
+    def test_concurrent_blocks(self):
+        geometry = LaunchGeometry(num_blocks=128, threads_per_block=64, shared_memory_per_block_bytes=2048)
+        assert geometry.concurrent_blocks(16 * 1024, 16) == 128
+        geometry_big = LaunchGeometry(num_blocks=128, threads_per_block=64, shared_memory_per_block_bytes=8192)
+        assert geometry_big.concurrent_blocks(16 * 1024, 16) == 32
+
+    def test_blocks_for_extent(self):
+        assert blocks_for_extent(100, 32) == 4
+        with pytest.raises(ValueError):
+            blocks_for_extent(0, 32)
