@@ -19,7 +19,7 @@ from repro.runtime import run_program
 from repro.scratchpad import ScratchpadManager, ScratchpadOptions
 from repro.tiling.cost_model import DataMovementCostModel
 
-from conftest import print_series
+from conftest import DEFAULT_SEED, print_series
 
 
 # -- ABL1: delta threshold ------------------------------------------------------------
@@ -153,7 +153,7 @@ def test_abl3_liveness_preserves_semantics():
         ScratchpadOptions(target="cell", liveness=True, live_out=["B"], param_binding={})
     )
     transformed, _ = manager.apply(program)
-    data = np.random.default_rng(5).random(32)
+    data = np.random.default_rng(DEFAULT_SEED).random(32)
     reference = run_program(program, inputs={"A": data.copy()})
     staged = run_program(transformed, inputs={"A": data.copy()})
     assert np.allclose(reference.data("B"), staged.data("B"))

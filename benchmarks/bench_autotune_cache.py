@@ -1,0 +1,141 @@
+"""Autotuning service — cold-vs-warm cache speedup and parallel evaluation.
+
+The persistent compilation cache is the infrastructure piece that turns the
+one-shot pipeline into a service: the first tuning request pays the full
+search-and-evaluate cost, every identical request afterwards is answered from
+disk with zero pipeline compiles.  This harness measures both paths over a
+seeded batch of matmul problem sizes and asserts the warm path is at least an
+order of magnitude faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import COMPILE_COUNTER, TuningCache, autotune
+from repro.autotune import SpaceOptions, TuningJob, autotune_batch
+from repro.kernels import build_matmul_program
+
+from conftest import DEFAULT_SEED, print_series
+
+SPACE = SpaceOptions(
+    thread_counts=(64, 128),
+    block_counts=(16, 32),
+    tile_candidates_per_geometry=2,
+)
+
+
+def _problem_sizes(count: int = 3):
+    """Seeded random (m, n, k) triples — reproducible across runs."""
+    rng = np.random.default_rng(DEFAULT_SEED)
+    sizes = []
+    for _ in range(count):
+        m, n, k = (int(2 ** rng.integers(5, 8)) for _ in range(3))
+        sizes.append((m, n, k))
+    return sizes
+
+
+@pytest.fixture(scope="module")
+def cache_rows(tmp_path_factory):
+    cache_path = tmp_path_factory.mktemp("autotune") / "cache.json"
+    jobs = [
+        TuningJob(build_matmul_program(m, n, k), label=f"matmul_{m}x{n}x{k}")
+        for m, n, k in _problem_sizes()
+    ]
+    rows = []
+
+    COMPILE_COUNTER.reset()
+    start = time.perf_counter()
+    cold_reports = autotune_batch(
+        jobs, cache=TuningCache(cache_path), seed=DEFAULT_SEED, space_options=SPACE
+    )
+    cold_seconds = time.perf_counter() - start
+    cold_compiles = COMPILE_COUNTER.count
+
+    COMPILE_COUNTER.reset()
+    start = time.perf_counter()
+    warm_reports = autotune_batch(
+        jobs, cache=TuningCache(cache_path), seed=DEFAULT_SEED, space_options=SPACE
+    )
+    warm_seconds = time.perf_counter() - start
+    warm_compiles = COMPILE_COUNTER.count
+
+    for cold, warm in zip(cold_reports, warm_reports):
+        rows.append(
+            {
+                "kernel": cold.kernel_name,
+                "best_ms": cold.best.time_ms,
+                "baseline_ms": cold.baseline.time_ms,
+                "evaluations": cold.num_evaluations,
+                "warm_hit": warm.from_cache,
+            }
+        )
+    print_series("Autotune: best configurations (modelled ms)", rows)
+    print_series(
+        "Autotune: cold vs warm cache",
+        [
+            {
+                "path": "cold",
+                "seconds": cold_seconds,
+                "pipeline_compiles": cold_compiles,
+            },
+            {
+                "path": "warm",
+                "seconds": warm_seconds,
+                "pipeline_compiles": warm_compiles,
+            },
+        ],
+    )
+    return {
+        "rows": rows,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_compiles": cold_compiles,
+        "warm_compiles": warm_compiles,
+        "cold_reports": cold_reports,
+        "warm_reports": warm_reports,
+    }
+
+
+def test_warm_cache_serves_without_compiling(cache_rows):
+    """Every warm request is a cache hit and triggers zero pipeline compiles."""
+    assert cache_rows["warm_compiles"] == 0
+    assert cache_rows["cold_compiles"] > 0
+    assert all(row["warm_hit"] for row in cache_rows["rows"])
+
+
+def test_warm_cache_is_much_faster(cache_rows):
+    """Cold tuning compiles dozens of configurations; warm reads one JSON file."""
+    assert cache_rows["warm_seconds"] < cache_rows["cold_seconds"] / 10
+
+
+def test_warm_report_matches_cold(cache_rows):
+    """The cached report is byte-identical to the freshly computed one."""
+    for cold, warm in zip(cache_rows["cold_reports"], cache_rows["warm_reports"]):
+        assert warm.best.to_dict() == cold.best.to_dict()
+        assert warm.fingerprint == cold.fingerprint
+
+
+def test_tuned_never_worse_than_baseline(cache_rows):
+    """Acceptance: modelled time of the winner ≤ the seed pipeline's default."""
+    for report in cache_rows["cold_reports"]:
+        assert report.best.time_ms <= report.baseline.time_ms
+
+
+def test_parallel_matches_serial_report():
+    """max_workers > 1 must produce the identical TuningReport."""
+    program = build_matmul_program(64, 64, 64)
+    serial = autotune(program, space_options=SPACE, max_workers=1, seed=DEFAULT_SEED)
+    parallel = autotune(program, space_options=SPACE, max_workers=4, seed=DEFAULT_SEED)
+    assert parallel.to_dict() == serial.to_dict()
+
+
+def test_cold_tuning_benchmark(benchmark):
+    program = build_matmul_program(64, 64, 64)
+    small = SpaceOptions(
+        thread_counts=(64,), block_counts=(16,), tile_candidates_per_geometry=2
+    )
+    benchmark(lambda: autotune(program, space_options=small, seed=DEFAULT_SEED))

@@ -13,6 +13,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
+#: single source of truth for every randomised benchmark input (problem-size
+#: generation, array contents), so benchmark runs are reproducible
+DEFAULT_SEED = 2008
+
 
 def print_series(title: str, rows: Iterable[Dict[str, object]]) -> None:
     """Print one figure's data as an aligned table."""

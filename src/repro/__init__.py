@@ -12,13 +12,16 @@ Public API highlights
   :func:`repro.tiling.search_tile_sizes` — multi-level tiling and the
   tile-size search (Section 4).
 * :class:`repro.core.MappingPipeline` — the end-to-end compiler.
+* :func:`repro.autotune.autotune` — empirical autotuning with parallel
+  evaluation and a persistent compilation cache.
 * :mod:`repro.machine` — the GPU / CPU performance models standing in for the
   paper's GeForce 8800 GTX testbed.
 * :mod:`repro.kernels` — the evaluation workloads (MPEG-4 ME, 1-D Jacobi,
   matmul, conv2d).
 """
 
-from repro.core import MappedKernel, MappingOptions, MappingPipeline
+from repro.autotune import TuningCache, TuningReport, autotune, autotune_batch
+from repro.core import COMPILE_COUNTER, MappedKernel, MappingOptions, MappingPipeline
 from repro.ir import Program, ProgramBuilder
 from repro.machine import (
     CPUPerformanceModel,
@@ -35,6 +38,11 @@ from repro.tiling import TilingLevelSpec, analyze_bands, search_tile_sizes, tile
 __version__ = "1.0.0"
 
 __all__ = [
+    "COMPILE_COUNTER",
+    "TuningCache",
+    "TuningReport",
+    "autotune",
+    "autotune_batch",
     "MappedKernel",
     "MappingOptions",
     "MappingPipeline",

@@ -1,0 +1,56 @@
+"""Empirical autotuning above the mapping pipeline.
+
+The paper (Section 4.3) uses the analytical data-movement model to *prune*
+the mapping space and picks the final configuration empirically on the
+machine.  This package supplies that empirical layer as a reusable service:
+
+* :mod:`repro.autotune.space` — declarative configuration space (tile sizes,
+  launch geometry, scratchpad staging) seeded by the SLSQP relaxed optimum
+  and pruned by the cost model and scratchpad capacity;
+* :mod:`repro.autotune.evaluate` — prices a configuration via
+  :meth:`MappingPipeline.compile_with_config` and the machine models, with
+  optional interpreter correctness spot-checks;
+* :mod:`repro.autotune.search` — exhaustive / pruned-grid / random-restart
+  hill-climb strategies with order-preserving parallel evaluation;
+* :mod:`repro.autotune.cache` — persistent fingerprint-keyed JSON cache, so
+  repeated tuning requests are O(1) with zero pipeline compiles;
+* :mod:`repro.autotune.session` — the public :func:`autotune` /
+  :func:`autotune_batch` API returning :class:`TuningReport`;
+* :mod:`repro.autotune.cli` — ``python -m repro.autotune``.
+"""
+
+from repro.autotune.cache import TuningCache, fingerprint
+from repro.autotune.evaluate import ConfigurationEvaluator, EvaluationResult, best_result
+from repro.autotune.search import (
+    ExhaustiveSearch,
+    PrunedGridSearch,
+    RandomHillClimbSearch,
+    SearchStrategy,
+    STRATEGIES,
+    make_batch_evaluator,
+    resolve_strategy,
+)
+from repro.autotune.session import TuningJob, TuningReport, autotune, autotune_batch
+from repro.autotune.space import Configuration, ConfigurationSpace, SpaceOptions
+
+__all__ = [
+    "Configuration",
+    "ConfigurationSpace",
+    "ConfigurationEvaluator",
+    "EvaluationResult",
+    "ExhaustiveSearch",
+    "PrunedGridSearch",
+    "RandomHillClimbSearch",
+    "SearchStrategy",
+    "STRATEGIES",
+    "SpaceOptions",
+    "TuningCache",
+    "TuningJob",
+    "TuningReport",
+    "autotune",
+    "autotune_batch",
+    "best_result",
+    "fingerprint",
+    "make_batch_evaluator",
+    "resolve_strategy",
+]

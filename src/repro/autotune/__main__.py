@@ -1,0 +1,5 @@
+"""``python -m repro.autotune`` — see :mod:`repro.autotune.cli`."""
+
+from repro.autotune.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,177 @@
+"""Persistent compilation/tuning cache.
+
+Tuning the same (program, machine, params, options, strategy, space) twice
+must cost nothing the second time: the session layer fingerprints the request,
+and this cache maps fingerprints to serialised tuning reports in a JSON file
+on disk.  The fingerprint hashes the *rendered* program text (the C-like
+printer output is deterministic and captures loop structure, domains and
+accesses), the machine spec fields, the bound parameters, the base mapping
+options and the strategy/space signatures — anything that can change the
+answer changes the key.
+
+Writes are atomic (temp file + ``os.replace``) so a crash mid-save never
+corrupts a warm cache.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.core.options import MappingOptions
+from repro.ir.printer import program_to_c
+from repro.ir.program import Program
+from repro.machine.spec import GPUSpec
+
+CACHE_VERSION = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace drift)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(
+    program: Program,
+    spec: GPUSpec,
+    param_values: Optional[Mapping[str, int]],
+    options: MappingOptions,
+    strategy_signature: Mapping[str, Any],
+    space_signature: Mapping[str, Any],
+    check_signature: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Stable key of one tuning request.
+
+    ``check_signature`` carries the correctness-check request (enabled flag,
+    spot-check program, input seed) — a report produced *without* spot-checks
+    must not satisfy a request *with* them.
+    """
+    binding = program.bound_params(param_values)
+    payload = {
+        "version": CACHE_VERSION,
+        "program": program_to_c(program),
+        "params": {k: binding[k] for k in sorted(binding)},
+        "spec": asdict(spec),
+        "options": options.to_dict(),
+        "strategy": dict(strategy_signature),
+        "space": dict(space_signature),
+        "check": dict(check_signature or {}),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class TuningCache:
+    """Fingerprint → report-dict store, optionally persisted to a JSON file.
+
+    ``path=None`` keeps the cache in memory only (useful for tests and
+    one-shot sessions); with a path, every :meth:`put` persists immediately
+    and a fresh instance pointed at the same file starts warm.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # -- mapping interface ---------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored report for ``key``, counting the hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, value: Mapping[str, Any]) -> None:
+        """Store a report and (when file-backed) persist atomically."""
+        self._entries[key] = dict(value)
+        if self.path is not None:
+            self._save()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (and the backing file's contents)."""
+        self._entries.clear()
+        if self.path is not None:
+            self._save(merge=False)
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+    # -- persistence ---------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            # A missing or corrupt file means a cold cache, not a crash.
+            self._entries = {}
+            return
+        if payload.get("version") != CACHE_VERSION:
+            self._entries = {}
+            return
+        entries = payload.get("entries", {})
+        if isinstance(entries, dict):
+            self._entries = {str(k): dict(v) for k, v in entries.items()}
+
+    @contextlib.contextmanager
+    def _file_lock(self):
+        """Exclusive advisory lock on a sidecar file (no-op without fcntl)."""
+        if fcntl is None:
+            yield
+            return
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        with open(lock_path, "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _save(self, merge: bool = True) -> None:
+        # Read-merge-write under an exclusive file lock: pick up entries other
+        # processes persisted since we loaded, so concurrent sessions tuning
+        # different kernels against one cache file keep each other's results
+        # (our own keys win).  Without fcntl the merge still runs but is only
+        # best-effort against a racing writer.
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._file_lock():
+            if merge and self.path.exists():
+                on_disk = TuningCache.__new__(TuningCache)
+                on_disk.path = self.path
+                on_disk._entries = {}
+                on_disk._load()
+                self._entries = {**on_disk._entries, **self._entries}
+            payload = {"version": CACHE_VERSION, "entries": self._entries}
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True, indent=1)
+                os.replace(temp_name, self.path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise

@@ -1,0 +1,172 @@
+"""Command-line entry point: ``python -m repro.autotune``.
+
+Examples
+--------
+List the tunable kernels::
+
+    python -m repro.autotune --list-kernels
+
+Tune a 256³ matmul with 4 parallel evaluators and a persistent cache::
+
+    python -m repro.autotune matmul --size m=256 n=256 k=256 \\
+        --strategy pruned --workers 4 --cache .autotune-cache.json
+
+A second identical invocation is served entirely from the cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.pipeline import COMPILE_COUNTER
+from repro.kernels.registry import available_kernels, get_kernel
+from repro.autotune.cache import TuningCache
+from repro.autotune.search import STRATEGIES
+from repro.autotune.session import autotune
+from repro.autotune.space import SpaceOptions
+
+
+def _parse_sizes(pairs: Sequence[str]) -> Dict[str, int]:
+    sizes: Dict[str, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise argparse.ArgumentTypeError(
+                f"size must look like name=value, got {pair!r}"
+            )
+        name, _, value = pair.partition("=")
+        try:
+            sizes[name.strip()] = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"size value for {name!r} must be an integer, got {value!r}"
+            ) from None
+    return sizes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.autotune",
+        description="Empirically autotune a kernel's mapping on the machine models.",
+    )
+    parser.add_argument("kernel", nargs="?", help="registered kernel name")
+    parser.add_argument(
+        "--list-kernels", action="store_true", help="list tunable kernels and exit"
+    )
+    parser.add_argument(
+        "--size",
+        nargs="*",
+        default=[],
+        metavar="NAME=VALUE",
+        help="problem-size overrides, e.g. --size m=256 n=256 k=256",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="pruned",
+        choices=sorted(STRATEGIES),
+        help="search strategy (default: pruned)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="parallel evaluation workers"
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="PATH", help="persistent cache file"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="search / input seed")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="spot-check each configuration through the interpreter "
+        "(at the kernel's small verification size)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=5, help="show this many best configurations"
+    )
+    parser.add_argument(
+        "--allow-no-scratchpad",
+        action="store_true",
+        help="let the tuner also consider disabling scratchpad staging",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        nargs="*",
+        default=None,
+        help="thread-per-block counts to explore (default: 64 128 256)",
+    )
+    parser.add_argument(
+        "--blocks",
+        type=int,
+        nargs="*",
+        default=None,
+        help="thread-block counts to explore (default: 16 32 64)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_kernels:
+        for name in available_kernels():
+            kernel = get_kernel(name)
+            sizes = ", ".join(f"{k}={v}" for k, v in kernel.default_sizes.items())
+            print(f"{name:10s} {kernel.description}  (defaults: {sizes})")
+        return 0
+    if not args.kernel:
+        parser.error("a kernel name is required (or --list-kernels)")
+
+    try:
+        kernel = get_kernel(args.kernel)
+        sizes = _parse_sizes(args.size)
+        program = kernel.build(**sizes)
+    except (KeyError, ValueError, argparse.ArgumentTypeError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    defaults = SpaceOptions()
+    space_options = SpaceOptions(
+        thread_counts=tuple(args.threads) if args.threads else defaults.thread_counts,
+        block_counts=tuple(args.blocks) if args.blocks else defaults.block_counts,
+        scratchpad_choices=(True, False) if args.allow_no_scratchpad else (True,),
+    )
+    cache = TuningCache(args.cache) if args.cache else None
+    compiles_before = COMPILE_COUNTER.count
+    report = autotune(
+        program,
+        strategy=args.strategy,
+        max_workers=args.workers,
+        cache=cache,
+        seed=args.seed,
+        space_options=space_options,
+        check_correctness=args.check,
+        check_program=kernel.build_check() if args.check else None,
+    )
+    compiles = COMPILE_COUNTER.count - compiles_before
+
+    print(report.summary())
+    print(f"pipeline compiles this call: {compiles}")
+    if cache is not None:
+        print(f"cache: {cache.stats()} at {cache.path}")
+    ranked = sorted(
+        (r for r in report.results if r.feasible),
+        key=lambda r: (r.time_ms, r.configuration.key()),
+    )
+    print(f"top {min(args.top, len(ranked))} of {len(report.results)} evaluated:")
+    for result in ranked[: args.top]:
+        config = result.configuration
+        tiles = ",".join(f"{k}={v}" for k, v in config.tile_sizes)
+        checked = "" if result.correct is None else f" correct={result.correct}"
+        print(
+            f"  {result.time_ms:9.3f} ms  blocks={config.num_blocks:<4d} "
+            f"threads={config.threads_per_block:<4d} tiles[{tiles}] "
+            f"spm={'on' if config.use_scratchpad else 'off'}{checked}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,165 @@
+"""Pricing (and optionally verifying) one mapping configuration.
+
+An evaluation replays a :class:`~repro.autotune.space.Configuration` through
+:meth:`MappingPipeline.compile_with_config` — no tile-size search — and prices
+the resulting launch on the GPU performance model, standing in for a run on
+the paper's GeForce 8800 GTX.  Configurations the machine cannot execute
+(e.g. a block's buffers exceed the scratchpad) come back infeasible rather
+than raising, so search strategies can treat the evaluator as total.
+
+With ``check_correctness`` enabled the mapped program is additionally run
+through the reference interpreter against the original program on small
+seeded random inputs — the same oracle the repo's transformation tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.options import MappingOptions
+from repro.core.pipeline import MappingPipeline
+from repro.ir.program import Program
+from repro.machine.gpu import GPUPerformanceModel, KernelLaunch
+from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
+from repro.runtime.interpreter import run_program
+from repro.autotune.space import Configuration
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of pricing one configuration."""
+
+    configuration: Configuration
+    time_ms: float
+    cycles: float
+    feasible: bool
+    error: Optional[str] = None
+    shared_bytes_per_block: int = 0
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    #: ``None`` when no spot-check ran, otherwise the verdict
+    correct: Optional[bool] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "configuration": self.configuration.to_dict(),
+            "time_ms": self.time_ms,
+            "cycles": self.cycles,
+            "feasible": self.feasible,
+            "error": self.error,
+            "shared_bytes_per_block": self.shared_bytes_per_block,
+            "breakdown": dict(self.breakdown),
+            "correct": self.correct,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EvaluationResult":
+        return cls(
+            configuration=Configuration.from_dict(payload["configuration"]),
+            time_ms=payload["time_ms"],
+            cycles=payload["cycles"],
+            feasible=payload["feasible"],
+            error=payload.get("error"),
+            shared_bytes_per_block=payload.get("shared_bytes_per_block", 0),
+            breakdown=dict(payload.get("breakdown", {})),
+            correct=payload.get("correct"),
+        )
+
+
+class ConfigurationEvaluator:
+    """Prices configurations of one (program, machine, params) instance."""
+
+    def __init__(
+        self,
+        program: Program,
+        spec: GPUSpec = GEFORCE_8800_GTX,
+        param_values: Optional[Mapping[str, int]] = None,
+        base_options: Optional[MappingOptions] = None,
+        check_correctness: bool = False,
+        check_program: Optional[Program] = None,
+        seed: int = 0,
+    ) -> None:
+        """``check_program``: a small-size twin of ``program`` to verify
+        functionally (defaults to ``program`` itself — only sensible when the
+        problem is small enough for the interpreter)."""
+        self.program = program
+        self.spec = spec
+        self.param_values = dict(param_values or {})
+        self.base_options = base_options or MappingOptions()
+        self.check_correctness = check_correctness
+        self.check_program = check_program or program
+        self.seed = seed
+        self._model = GPUPerformanceModel(spec)
+
+    def evaluate(self, config: Configuration) -> EvaluationResult:
+        """Compile, price, and optionally spot-check one configuration."""
+        pipeline = MappingPipeline(spec=self.spec, options=self.base_options)
+        try:
+            mapped = pipeline.compile_with_config(self.program, config, self.param_values)
+            launch = KernelLaunch(
+                workload=mapped.workload,
+                geometry=mapped.geometry,
+                global_sync_rounds=mapped.global_sync_rounds,
+            )
+            time_us = self._model.execution_time_us(launch)
+        except ValueError as error:
+            return EvaluationResult(
+                configuration=config,
+                time_ms=float("inf"),
+                cycles=float("inf"),
+                feasible=False,
+                error=str(error),
+            )
+        result = EvaluationResult(
+            configuration=config,
+            time_ms=time_us / 1000.0,
+            cycles=time_us * self.spec.cycles_per_us,
+            feasible=True,
+            shared_bytes_per_block=mapped.geometry.shared_memory_per_block_bytes,
+            breakdown=self._model.breakdown(launch),
+        )
+        if self.check_correctness:
+            result.correct = self.spot_check(config)
+        return result
+
+    def spot_check(self, config: Configuration) -> bool:
+        """Interpret the mapped small-size program against the reference."""
+        program = self.check_program
+        pipeline = MappingPipeline(spec=self.spec, options=self.base_options)
+        mapped = pipeline.compile_with_config(program, config)
+        inputs = self._random_inputs(program)
+        reference = run_program(program, inputs={k: v.copy() for k, v in inputs.items()})
+        transformed = run_program(
+            mapped.program, inputs={k: v.copy() for k, v in inputs.items()}
+        )
+        for array in program.arrays.values():
+            if array.is_local:
+                continue
+            if not np.allclose(reference.data(array.name), transformed.data(array.name)):
+                return False
+        return True
+
+    def _random_inputs(self, program: Program) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        return {
+            array.name: rng.random(tuple(array.shape))
+            for array in program.arrays.values()
+            if not array.is_local
+        }
+
+
+def best_result(results: List[EvaluationResult]) -> EvaluationResult:
+    """The fastest feasible result, ties broken by configuration key.
+
+    Results whose correctness spot-check *failed* (``correct is False``) are
+    never eligible — a fast but wrong mapping must not win.  Unchecked results
+    (``correct is None``) remain eligible.  The tie-break makes serial and
+    parallel evaluation agree bit-for-bit on the winner regardless of
+    completion order.
+    """
+    feasible = [r for r in results if r.feasible and r.correct is not False]
+    if not feasible:
+        raise ValueError("no feasible (and correct) configuration was evaluated")
+    return min(feasible, key=lambda r: (r.time_ms, r.configuration.key()))

@@ -1,0 +1,186 @@
+"""Search strategies over the configuration space, with parallel evaluation.
+
+Three strategies, in increasing reliance on the analytical model:
+
+* :class:`ExhaustiveSearch` — every feasible configuration of the space;
+* :class:`PrunedGridSearch` — the model-ranked grid around the SLSQP relaxed
+  optimum (the paper's "model as pruning device" reading, default);
+* :class:`RandomHillClimbSearch` — seeded random restarts refined by one-knob
+  hill climbing (for spaces too big to grid).
+
+All strategies funnel candidate batches through an *evaluate-many* callable;
+:func:`make_batch_evaluator` builds one that fans a batch out over a
+``concurrent.futures`` thread pool.  Results always come back in candidate
+order and winners are tie-broken on the configuration key, so a parallel run
+is bit-for-bit identical to a serial one.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.autotune.evaluate import ConfigurationEvaluator, EvaluationResult, best_result
+from repro.autotune.space import Configuration, ConfigurationSpace
+
+#: evaluates a batch of configurations, preserving order
+BatchEvaluator = Callable[[Sequence[Configuration]], List[EvaluationResult]]
+
+
+def make_batch_evaluator(
+    evaluator: ConfigurationEvaluator, max_workers: int = 1
+) -> BatchEvaluator:
+    """Wrap an evaluator into an order-preserving (optionally parallel) batch map.
+
+    ``max_workers > 1`` uses a thread pool; evaluation is pure, and
+    ``Executor.map`` yields results in submission order, so parallelism never
+    changes the produced report.
+    """
+    if max_workers <= 1:
+        return lambda configs: [evaluator.evaluate(c) for c in configs]
+
+    def parallel(configs: Sequence[Configuration]) -> List[EvaluationResult]:
+        configs = list(configs)
+        if not configs:
+            return []
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(evaluator.evaluate, configs))
+
+    return parallel
+
+
+class SearchStrategy:
+    """Base interface: propose-and-evaluate over a configuration space."""
+
+    name = "base"
+
+    def run(
+        self, space: ConfigurationSpace, evaluate_many: BatchEvaluator
+    ) -> List[EvaluationResult]:
+        raise NotImplementedError
+
+    def signature(self) -> Dict[str, Any]:
+        """Stable description for cache fingerprinting."""
+        return {"name": self.name}
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """Evaluate every feasible configuration (no per-geometry cap)."""
+
+    name = "exhaustive"
+
+    def run(
+        self, space: ConfigurationSpace, evaluate_many: BatchEvaluator
+    ) -> List[EvaluationResult]:
+        return evaluate_many(space.enumerate(limit_per_geometry=None))
+
+
+class PrunedGridSearch(SearchStrategy):
+    """Evaluate the model-ranked top candidates around the relaxed optimum."""
+
+    name = "pruned"
+
+    def __init__(self, limit_per_geometry: Optional[int] = None) -> None:
+        #: ``None`` defers to the space's own per-geometry cap
+        self.limit_per_geometry = limit_per_geometry
+
+    def run(
+        self, space: ConfigurationSpace, evaluate_many: BatchEvaluator
+    ) -> List[EvaluationResult]:
+        if self.limit_per_geometry is None:
+            return evaluate_many(space.enumerate())
+        return evaluate_many(space.enumerate(limit_per_geometry=self.limit_per_geometry))
+
+    def signature(self) -> Dict[str, Any]:
+        return {"name": self.name, "limit_per_geometry": self.limit_per_geometry}
+
+
+class RandomHillClimbSearch(SearchStrategy):
+    """Seeded random restarts + greedy one-knob hill climbing.
+
+    Starts from the seed configuration plus ``restarts`` points sampled (with
+    an explicit ``seed``, so runs are reproducible) from the pruned grid, then
+    repeatedly moves to the best strictly-improving neighbour.  Each
+    generation's neighbours are evaluated as one batch, so the trajectory is
+    identical under serial and parallel evaluation.
+    """
+
+    name = "hillclimb"
+
+    def __init__(self, seed: int = 0, restarts: int = 2, max_steps: int = 8) -> None:
+        if restarts < 0:
+            raise ValueError("restarts cannot be negative")
+        if max_steps <= 0:
+            raise ValueError("max_steps must be positive")
+        self.seed = seed
+        self.restarts = restarts
+        self.max_steps = max_steps
+
+    def run(
+        self, space: ConfigurationSpace, evaluate_many: BatchEvaluator
+    ) -> List[EvaluationResult]:
+        rng = random.Random(self.seed)
+        pool = space.enumerate()
+        starts = [pool[0]]  # the seed configuration is always first
+        extra = [c for c in pool[1:]]
+        if extra and self.restarts:
+            starts.extend(rng.sample(extra, min(self.restarts, len(extra))))
+
+        results: Dict[Configuration, EvaluationResult] = {}
+        order: List[Configuration] = []
+
+        def evaluate_new(batch: Sequence[Configuration]) -> None:
+            fresh = [c for c in dict.fromkeys(batch) if c not in results]
+            for config, result in zip(fresh, evaluate_many(fresh)):
+                results[config] = result
+                order.append(config)
+
+        evaluate_new(starts)
+        for start in starts:
+            current = start
+            if not results[current].feasible:
+                continue
+            for _step in range(self.max_steps):
+                neighbours = space.neighbours(current)
+                if not neighbours:
+                    break
+                evaluate_new(neighbours)
+                candidates = [results[current]] + [results[n] for n in neighbours]
+                winner = best_result(candidates)
+                if winner.configuration == current:
+                    break
+                current = winner.configuration
+        return [results[c] for c in order]
+
+    def signature(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "restarts": self.restarts,
+            "max_steps": self.max_steps,
+        }
+
+
+STRATEGIES: Dict[str, Callable[..., SearchStrategy]] = {
+    ExhaustiveSearch.name: ExhaustiveSearch,
+    PrunedGridSearch.name: PrunedGridSearch,
+    RandomHillClimbSearch.name: RandomHillClimbSearch,
+}
+
+
+def resolve_strategy(strategy, seed: int = 0) -> SearchStrategy:
+    """Accept a strategy instance or name; thread the session seed through."""
+    if isinstance(strategy, SearchStrategy):
+        return strategy
+    if isinstance(strategy, str):
+        try:
+            factory = STRATEGIES[strategy]
+        except KeyError:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; available: {sorted(STRATEGIES)}"
+            ) from None
+        if factory is RandomHillClimbSearch:
+            return RandomHillClimbSearch(seed=seed)
+        return factory()
+    raise TypeError(f"strategy must be a name or SearchStrategy, got {type(strategy)}")

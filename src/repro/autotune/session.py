@@ -1,0 +1,228 @@
+"""The public autotuning API: :func:`autotune` and :func:`autotune_batch`.
+
+One call turns the one-shot mapping pipeline into an empirical tuning
+service: build the model-pruned configuration space, evaluate candidates
+(optionally in parallel) on the machine models, and return a
+:class:`TuningReport` whose best configuration can be replayed directly via
+:meth:`MappingPipeline.compile_with_config`.  With a :class:`TuningCache`,
+repeated requests are answered from disk with **zero** pipeline compiles
+(verifiable through :data:`repro.core.pipeline.COMPILE_COUNTER`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.options import MappingOptions
+from repro.ir.printer import program_to_c
+from repro.ir.program import Program
+from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
+from repro.autotune.cache import TuningCache, fingerprint
+from repro.autotune.evaluate import ConfigurationEvaluator, EvaluationResult, best_result
+from repro.autotune.search import (
+    SearchStrategy,
+    make_batch_evaluator,
+    resolve_strategy,
+)
+from repro.autotune.space import ConfigurationSpace, SpaceOptions
+
+
+@dataclass
+class TuningReport:
+    """Everything one tuning request produced."""
+
+    kernel_name: str
+    fingerprint: str
+    strategy: str
+    spec_name: str
+    best: EvaluationResult
+    baseline: EvaluationResult
+    results: List[EvaluationResult] = field(default_factory=list)
+    from_cache: bool = False
+    seed: int = 0
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self.results)
+
+    @property
+    def speedup_over_baseline(self) -> float:
+        """Modelled baseline time over best time (≥ 1 when tuning helped)."""
+        if self.best.time_ms == 0:
+            return float("inf")
+        return self.baseline.time_ms / self.best.time_ms
+
+    def summary(self) -> str:
+        best = self.best
+        tiles = ", ".join(f"{k}={v}" for k, v in best.configuration.tile_sizes)
+        source = "cache" if self.from_cache else f"{self.num_evaluations} evaluations"
+        return (
+            f"{self.kernel_name}: best {best.time_ms:.3f} ms "
+            f"(baseline {self.baseline.time_ms:.3f} ms, "
+            f"{self.speedup_over_baseline:.2f}x) — blocks={best.configuration.num_blocks} "
+            f"threads={best.configuration.threads_per_block} tiles[{tiles}] "
+            f"scratchpad={'on' if best.configuration.use_scratchpad else 'off'} "
+            f"[{source}]"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel_name": self.kernel_name,
+            "fingerprint": self.fingerprint,
+            "strategy": self.strategy,
+            "spec_name": self.spec_name,
+            "best": self.best.to_dict(),
+            "baseline": self.baseline.to_dict(),
+            "results": [r.to_dict() for r in self.results],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any], from_cache: bool = False) -> "TuningReport":
+        return cls(
+            kernel_name=payload["kernel_name"],
+            fingerprint=payload["fingerprint"],
+            strategy=payload["strategy"],
+            spec_name=payload["spec_name"],
+            best=EvaluationResult.from_dict(payload["best"]),
+            baseline=EvaluationResult.from_dict(payload["baseline"]),
+            results=[EvaluationResult.from_dict(r) for r in payload.get("results", [])],
+            from_cache=from_cache,
+            seed=payload.get("seed", 0),
+        )
+
+
+@dataclass
+class TuningJob:
+    """One (program, problem-size) pair of a batch tuning request."""
+
+    program: Program
+    param_values: Optional[Mapping[str, int]] = None
+    label: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.label or self.program.name
+
+
+def autotune(
+    program: Program,
+    spec: GPUSpec = GEFORCE_8800_GTX,
+    param_values: Optional[Mapping[str, int]] = None,
+    options: Optional[MappingOptions] = None,
+    strategy: Union[str, SearchStrategy] = "pruned",
+    max_workers: int = 1,
+    cache: Optional[TuningCache] = None,
+    seed: int = 0,
+    space_options: Optional[SpaceOptions] = None,
+    check_correctness: bool = False,
+    check_program: Optional[Program] = None,
+) -> TuningReport:
+    """Empirically tune the mapping of ``program`` on ``spec``.
+
+    Parameters
+    ----------
+    strategy:
+        ``"exhaustive"``, ``"pruned"`` (default), ``"hillclimb"``, or a
+        :class:`SearchStrategy` instance.
+    max_workers:
+        Evaluate candidates on a thread pool of this size; the report is
+        identical for any worker count.
+    cache:
+        A :class:`TuningCache`; a warm entry is returned without a single
+        pipeline compile.
+    seed:
+        Drives every randomised search path (and the correctness spot-check
+        inputs), making runs reproducible.
+    check_correctness / check_program:
+        Also verify each configuration through the reference interpreter
+        (against ``check_program`` when the tuned problem is too large to
+        interpret).
+    """
+    if max_workers <= 0:
+        raise ValueError("max_workers must be positive")
+    options = options or MappingOptions()
+    strategy = resolve_strategy(strategy, seed=seed)
+    space_options = space_options or SpaceOptions()
+    space = ConfigurationSpace(
+        program,
+        spec=spec,
+        param_values=param_values,
+        base_options=options,
+        space_options=space_options,
+    )
+    check_signature: Dict[str, Any] = {"enabled": check_correctness}
+    if check_correctness:
+        # The spot-check program and input seed change every `correct` verdict.
+        check_signature["seed"] = seed
+        check_signature["program"] = program_to_c(check_program or program)
+    key = fingerprint(
+        program,
+        spec,
+        param_values,
+        options,
+        strategy.signature(),
+        space.describe(),
+        check_signature,
+    )
+    if cache is not None:
+        stored = cache.get(key)
+        if stored is not None:
+            return TuningReport.from_dict(stored, from_cache=True)
+
+    evaluator = ConfigurationEvaluator(
+        program,
+        spec=spec,
+        param_values=param_values,
+        base_options=options,
+        check_correctness=check_correctness,
+        check_program=check_program,
+        seed=seed,
+    )
+    evaluate_many = make_batch_evaluator(evaluator, max_workers=max_workers)
+    results = strategy.run(space, evaluate_many)
+    if not results:
+        raise ValueError("search strategy produced no evaluations")
+
+    seed_config = space.seed_configuration()
+    baseline = next(
+        (r for r in results if r.configuration == seed_config), results[0]
+    )
+    report = TuningReport(
+        kernel_name=program.name,
+        fingerprint=key,
+        strategy=strategy.name,
+        spec_name=spec.name,
+        best=best_result(results),
+        baseline=baseline,
+        results=results,
+        seed=seed,
+    )
+    if cache is not None:
+        cache.put(key, report.to_dict())
+    return report
+
+
+def autotune_batch(
+    jobs: Sequence[Union[TuningJob, Program]],
+    spec: GPUSpec = GEFORCE_8800_GTX,
+    **kwargs: Any,
+) -> List[TuningReport]:
+    """Tune many (kernel, problem-size) pairs in one call.
+
+    Jobs may be bare programs or :class:`TuningJob` instances; every keyword
+    of :func:`autotune` applies to each job, so one shared cache serves the
+    whole batch.
+    """
+    reports: List[TuningReport] = []
+    for job in jobs:
+        if isinstance(job, Program):
+            job = TuningJob(program=job)
+        report = autotune(
+            job.program, spec=spec, param_values=job.param_values, **kwargs
+        )
+        if job.label:
+            report.kernel_name = job.label
+        reports.append(report)
+    return reports

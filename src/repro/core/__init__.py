@@ -7,6 +7,12 @@ extraction for the machine models.
 """
 
 from repro.core.options import MappingOptions
-from repro.core.pipeline import MappedKernel, MappingPipeline
+from repro.core.pipeline import COMPILE_COUNTER, CompileCounter, MappedKernel, MappingPipeline
 
-__all__ = ["MappingOptions", "MappedKernel", "MappingPipeline"]
+__all__ = [
+    "COMPILE_COUNTER",
+    "CompileCounter",
+    "MappingOptions",
+    "MappedKernel",
+    "MappingPipeline",
+]

@@ -16,6 +16,7 @@ The pipeline follows the paper's flow:
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -35,6 +36,32 @@ from repro.tiling.mapping import LaunchGeometry, blocks_for_extent
 from repro.tiling.multilevel import TiledProgram, TilingLevelSpec, tile_program
 from repro.tiling.placement import placement_depths
 from repro.tiling.tile_search import TileSearchProblem, TileSearchResult, search_tile_sizes
+
+
+@dataclass
+class CompileCounter:
+    """Counts end-to-end pipeline compilations.
+
+    The autotuner's persistent cache promises that a warm request performs
+    *zero* pipeline compiles; this process-wide counter is how tests and
+    benchmarks verify that promise.  Increments are lock-protected because
+    parallel evaluation compiles on thread-pool workers.
+    """
+
+    count: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def increment(self) -> None:
+        with self._lock:
+            self.count += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+
+
+#: process-wide counter bumped by every :meth:`MappingPipeline.compile`
+COMPILE_COUNTER = CompileCounter()
 
 
 @dataclass
@@ -76,6 +103,7 @@ class MappingPipeline:
     def compile(
         self, program: Program, param_values: Optional[Mapping[str, int]] = None
     ) -> MappedKernel:
+        COMPILE_COUNTER.increment()
         options = self.options
         binding = program.bound_params(param_values)
         analysis = analyze_bands(program)
@@ -144,47 +172,42 @@ class MappingPipeline:
             param_binding=dict(binding),
         )
 
+    def compile_with_config(
+        self,
+        program: Program,
+        config,
+        param_values: Optional[Mapping[str, int]] = None,
+    ) -> MappedKernel:
+        """Replay one explicit mapping configuration, skipping the tile search.
+
+        ``config`` is anything exposing ``num_blocks``, ``threads_per_block``,
+        ``use_scratchpad`` and a ``tile_dict`` mapping of explicit tile sizes
+        (notably :class:`repro.autotune.space.Configuration`).  Because the
+        tile sizes are given, :meth:`compile` takes its explicit-sizes path and
+        the Section-4.3 search never runs — this is what lets the autotuner
+        evaluate many configurations cheaply and replay cached winners.
+        """
+        tile_sizes = config.tile_dict if hasattr(config, "tile_dict") else config.tile_sizes
+        options = self.options.with_overrides(
+            num_blocks=config.num_blocks,
+            threads_per_block=config.threads_per_block,
+            tile_sizes=dict(tile_sizes) if tile_sizes is not None else None,
+            use_scratchpad=config.use_scratchpad,
+        )
+        replay = MappingPipeline(spec=self.spec, options=options)
+        return replay.compile(program, param_values)
+
     # -- tiling helpers ----------------------------------------------------------------
     def _loop_extents(
         self, program: Program, binding: Mapping[str, int]
     ) -> Tuple[Dict[str, int], Dict[str, int]]:
-        """Concrete extent and lower bound of every loop of the (deepest) nest."""
-        extents: Dict[str, int] = {}
-        lowers: Dict[str, int] = {}
-        for statement in program.statement_list:
-            for loop in statement.domain.dims:
-                if loop in extents:
-                    continue
-                bound = parametric_bounds(statement.domain, loop)
-                low = bound.lower.evaluate_int(binding)
-                high = bound.upper.evaluate_int(binding)
-                extents[loop] = max(high - low + 1, 1)
-                lowers[loop] = low
-        return extents, lowers
+        return loop_extents(program, binding)
 
     @staticmethod
     def _split_across(
         total: int, loops: Sequence[str], weights: Mapping[str, int]
     ) -> Dict[str, int]:
-        """Split a process count across loops, proportionally to their extents."""
-        counts = {loop: 1 for loop in loops}
-        remaining = total
-        if len(loops) == 1:
-            counts[loops[0]] = total
-            return counts
-        # Repeatedly double the count of the loop with the largest per-count extent.
-        while remaining > 1:
-            best = max(loops, key=lambda l: weights[l] / counts[l])
-            if counts[best] * 2 > total:
-                break
-            counts[best] *= 2
-            product = 1
-            for loop in loops:
-                product *= counts[loop]
-            if product >= total:
-                break
-            remaining = total // product
-        return counts
+        return split_across(total, loops, weights)
 
     def _search_tiles(
         self,
@@ -377,6 +400,52 @@ class MappingPipeline:
                 if loop in analysis.time_loops:
                     rounds *= blocks_for_extent(extents[loop], mem_tiles[loop])
         return workload, rounds
+
+
+def loop_extents(
+    program: Program, binding: Mapping[str, int]
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Concrete extent and lower bound of every loop of the (deepest) nest.
+
+    Shared by the pipeline and the autotuner's configuration space so both
+    derive launch geometry from identical extents.
+    """
+    extents: Dict[str, int] = {}
+    lowers: Dict[str, int] = {}
+    for statement in program.statement_list:
+        for loop in statement.domain.dims:
+            if loop in extents:
+                continue
+            bound = parametric_bounds(statement.domain, loop)
+            low = bound.lower.evaluate_int(binding)
+            high = bound.upper.evaluate_int(binding)
+            extents[loop] = max(high - low + 1, 1)
+            lowers[loop] = low
+    return extents, lowers
+
+
+def split_across(
+    total: int, loops: Sequence[str], weights: Mapping[str, int]
+) -> Dict[str, int]:
+    """Split a process count across loops, proportionally to their extents."""
+    counts = {loop: 1 for loop in loops}
+    remaining = total
+    if len(loops) == 1:
+        counts[loops[0]] = total
+        return counts
+    # Repeatedly double the count of the loop with the largest per-count extent.
+    while remaining > 1:
+        best = max(loops, key=lambda l: weights[l] / counts[l])
+        if counts[best] * 2 > total:
+            break
+        counts[best] *= 2
+        product = 1
+        for loop in loops:
+            product *= counts[loop]
+        if product >= total:
+            break
+        remaining = total // product
+    return counts
 
 
 def _access_counts(statement: Statement) -> Tuple[float, float]:

@@ -26,8 +26,18 @@ from repro.kernels.jacobi1d import (
 )
 from repro.kernels.matmul import build_matmul_program
 from repro.kernels.conv2d import build_conv2d_program
+from repro.kernels.registry import (
+    TunableKernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+)
 
 __all__ = [
+    "TunableKernel",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
     "ME_PROBLEM_SIZES",
     "MEWorkloadModel",
     "build_me_program",

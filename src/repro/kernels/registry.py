@@ -1,0 +1,123 @@
+"""Registry of tunable kernels.
+
+Each evaluation workload registers itself as a :class:`TunableKernel`: a
+program builder plus the metadata the autotuner needs — which problem-size
+knobs exist (with defaults), which loops carry the memory-level tiling, and a
+functional-verification size small enough for interpreter spot-checks.  The
+autotuning CLI (``python -m repro.autotune``) and the batch tuning API resolve
+kernels by name through this registry, so new workloads become tunable by
+adding one :func:`register_kernel` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.ir.program import Program
+from repro.kernels.conv2d import build_conv2d_program
+from repro.kernels.jacobi1d import build_jacobi_sweep_program
+from repro.kernels.matmul import build_matmul_program
+from repro.kernels.mpeg4_me import build_me_program
+
+
+@dataclass(frozen=True)
+class TunableKernel:
+    """A kernel builder plus the knobs the autotuner may turn."""
+
+    name: str
+    description: str
+    builder: Callable[..., Program]
+    #: problem-size keyword arguments of the builder, with default values
+    default_sizes: Mapping[str, int]
+    #: loops whose memory-level tile sizes are tunable
+    tile_loops: Tuple[str, ...]
+    #: small problem sizes safe for interpreter-based correctness spot-checks
+    check_sizes: Mapping[str, int] = field(default_factory=dict)
+
+    def build(self, **overrides: int) -> Program:
+        """Build the program at the default sizes, overridden per keyword."""
+        sizes = dict(self.default_sizes)
+        unknown = set(overrides) - set(sizes)
+        if unknown:
+            raise ValueError(
+                f"kernel {self.name!r} has no size parameters {sorted(unknown)}; "
+                f"available: {sorted(sizes)}"
+            )
+        sizes.update(overrides)
+        return self.builder(**sizes)
+
+    def build_check(self) -> Program:
+        """Build the small functional-verification instance."""
+        return self.builder(**dict(self.check_sizes or self.default_sizes))
+
+
+_REGISTRY: Dict[str, TunableKernel] = {}
+
+
+def register_kernel(kernel: TunableKernel) -> TunableKernel:
+    """Add a kernel to the registry (name must be unique)."""
+    if kernel.name in _REGISTRY:
+        raise ValueError(f"kernel {kernel.name!r} is already registered")
+    _REGISTRY[kernel.name] = kernel
+    return kernel
+
+
+def get_kernel(name: str) -> TunableKernel:
+    """Look up a registered kernel by name, with a helpful error."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {', '.join(available_kernels())}"
+        ) from None
+
+
+def available_kernels() -> List[str]:
+    """Sorted names of all registered kernels."""
+    return sorted(_REGISTRY)
+
+
+register_kernel(
+    TunableKernel(
+        name="matmul",
+        description="dense matrix multiplication C += A·B (reuse-heavy)",
+        builder=build_matmul_program,
+        default_sizes={"m": 128, "n": 128, "k": 128},
+        tile_loops=("i", "j", "k"),
+        check_sizes={"m": 8, "n": 8, "k": 8},
+    )
+)
+
+register_kernel(
+    TunableKernel(
+        name="conv2d",
+        description="2-D convolution over a padded image",
+        builder=build_conv2d_program,
+        default_sizes={"height": 64, "width": 64, "kernel": 3},
+        tile_loops=("i", "j"),
+        check_sizes={"height": 8, "width": 8, "kernel": 3},
+    )
+)
+
+register_kernel(
+    TunableKernel(
+        name="jacobi1d",
+        description="one 1-D Jacobi sweep (Figs. 5/7/8 workload, single step)",
+        builder=build_jacobi_sweep_program,
+        default_sizes={"size": 1024},
+        tile_loops=("i",),
+        check_sizes={"size": 32},
+    )
+)
+
+register_kernel(
+    TunableKernel(
+        name="mpeg4_me",
+        description="MPEG-4 motion estimation (Figs. 4/6 workload)",
+        builder=build_me_program,
+        default_sizes={"height": 64, "width": 64, "window": 4},
+        tile_loops=("i", "j"),
+        check_sizes={"height": 16, "width": 16, "window": 2},
+    )
+)

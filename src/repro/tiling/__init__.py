@@ -23,7 +23,13 @@ from repro.tiling.hyperplanes import find_legal_skewing, apply_skewing
 from repro.tiling.multilevel import TilingLevelSpec, TiledProgram, tile_program
 from repro.tiling.placement import hoist_level_for_buffer, redundant_loops_for_buffer
 from repro.tiling.cost_model import DataMovementCostModel, MovementDescriptor
-from repro.tiling.tile_search import TileSearchProblem, TileSearchResult, search_tile_sizes
+from repro.tiling.tile_search import (
+    TileSearchProblem,
+    TileSearchResult,
+    candidate_neighbourhood,
+    search_tile_sizes,
+    solve_relaxed,
+)
 from repro.tiling.mapping import LaunchGeometry, occupancy_limited_blocks
 
 __all__ = [
@@ -40,7 +46,9 @@ __all__ = [
     "MovementDescriptor",
     "TileSearchProblem",
     "TileSearchResult",
+    "candidate_neighbourhood",
     "search_tile_sizes",
+    "solve_relaxed",
     "LaunchGeometry",
     "occupancy_limited_blocks",
 ]

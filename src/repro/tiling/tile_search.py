@@ -62,11 +62,18 @@ class TileSearchResult:
         return f"tile sizes [{sizes}] cost={self.cost:.1f} footprint={self.footprint_bytes:.0f}B ({status})"
 
 
-def search_tile_sizes(
+def solve_relaxed(
     problem: TileSearchProblem,
     initial: Optional[Mapping[str, float]] = None,
-) -> TileSearchResult:
-    """Run the relaxed SLSQP optimisation followed by integer rounding."""
+) -> Dict[str, float]:
+    """The SLSQP relaxation alone: best feasible real-valued tile sizes.
+
+    Exposed separately from :func:`search_tile_sizes` so that the autotuner
+    (:mod:`repro.autotune.space`) can seed its configuration space from the
+    relaxed optimum and its integer neighbourhood without committing to the
+    single rounded vector the one-shot search returns.  Falls back to all-ones
+    when no feasible relaxed point is found.
+    """
     model = problem.cost_model
     loops = model.tile_loops
     extents = [model.loop_extents[loop] for loop in loops]
@@ -118,9 +125,18 @@ def search_tile_sizes(
     if best_relaxed is None:
         # No feasible relaxed point found; fall back to the smallest tiles.
         best_relaxed = np.array([1.0 for _ in loops])
+    return unpack(best_relaxed)
 
-    relaxed = unpack(best_relaxed)
-    candidate_sets = _candidate_sets(problem, relaxed)
+
+def search_tile_sizes(
+    problem: TileSearchProblem,
+    initial: Optional[Mapping[str, float]] = None,
+) -> TileSearchResult:
+    """Run the relaxed SLSQP optimisation followed by integer rounding."""
+    model = problem.cost_model
+    loops = model.tile_loops
+    relaxed = solve_relaxed(problem, initial)
+    candidate_sets = candidate_neighbourhood(problem, relaxed)
     best: Optional[Tuple[Dict[str, int], float, float]] = None
     evaluated = 0
     for combination in itertools.product(*[candidate_sets[loop] for loop in loops]):
@@ -157,10 +173,16 @@ def search_tile_sizes(
     )
 
 
-def _candidate_sets(
+def candidate_neighbourhood(
     problem: TileSearchProblem, relaxed: Mapping[str, float]
 ) -> Dict[str, List[int]]:
-    """Integer candidates per loop around the relaxed optimum."""
+    """Integer candidates per loop around the relaxed optimum.
+
+    The neighbourhood mixes floor/ceil of the relaxed value, the nearest
+    powers of two, their halvings/doublings, and the extremes 1 and the full
+    extent; explicit ``problem.candidates`` override the derivation per loop.
+    The autotuner enumerates products of these sets as its tile axis.
+    """
     model = problem.cost_model
     sets: Dict[str, List[int]] = {}
     for loop in model.tile_loops:

@@ -1,0 +1,333 @@
+"""Tests of the ``repro.autotune`` subsystem (space, search, cache, session)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import COMPILE_COUNTER, MappingOptions, MappingPipeline, autotune
+from repro.autotune import (
+    Configuration,
+    ConfigurationEvaluator,
+    ConfigurationSpace,
+    EvaluationResult,
+    ExhaustiveSearch,
+    PrunedGridSearch,
+    RandomHillClimbSearch,
+    SpaceOptions,
+    TuningCache,
+    TuningJob,
+    TuningReport,
+    autotune_batch,
+    best_result,
+    fingerprint,
+    resolve_strategy,
+)
+from repro.autotune.cli import main as cli_main
+from repro.kernels import build_matmul_program, get_kernel
+from repro.machine import GEFORCE_8800_GTX
+
+SMALL_SPACE = SpaceOptions(
+    thread_counts=(64,), block_counts=(16,), tile_candidates_per_geometry=2
+)
+GRID_SPACE = SpaceOptions(
+    thread_counts=(64, 128), block_counts=(16, 32), tile_candidates_per_geometry=2
+)
+
+
+@pytest.fixture(scope="module")
+def matmul():
+    return build_matmul_program(32, 32, 32)
+
+
+# -- configuration -----------------------------------------------------------------
+class TestConfiguration:
+    def test_round_trips_through_dict(self):
+        config = Configuration.make(32, 128, {"i": 8, "j": 16}, use_scratchpad=False)
+        assert Configuration.from_dict(config.to_dict()) == config
+
+    def test_key_is_stable_and_readable(self):
+        config = Configuration.make(32, 128, {"j": 16, "i": 8})
+        assert config.key() == "b32.t128.i8_j16.spm"
+
+    def test_to_options_carries_base_policy(self):
+        base = MappingOptions(delta=0.25, liveness=True)
+        options = Configuration.make(8, 64, {"i": 4}).to_options(base)
+        assert options.num_blocks == 8
+        assert options.threads_per_block == 64
+        assert options.tile_sizes == {"i": 4}
+        assert options.delta == 0.25 and options.liveness is True
+
+
+# -- space -------------------------------------------------------------------------
+class TestConfigurationSpace:
+    def test_seed_configuration_matches_pipeline_choice(self, matmul):
+        space = ConfigurationSpace(matmul, space_options=SMALL_SPACE)
+        seed = space.seed_configuration()
+        mapped = MappingPipeline().compile(matmul)
+        assert seed.tile_dict == mapped.tile_sizes
+        assert seed.num_blocks == 32 and seed.threads_per_block == 256
+
+    def test_enumerate_starts_with_seed_and_prunes(self, matmul):
+        space = ConfigurationSpace(matmul, space_options=GRID_SPACE)
+        configs = space.enumerate()
+        assert configs[0] == space.seed_configuration()
+        assert len(configs) == len(set(configs))
+        for config in configs[1:]:
+            model = space.cost_model(config.num_blocks, config.threads_per_block)
+            sizes = config.tile_dict
+            assert model.work_per_tile(sizes) >= config.threads_per_block
+            assert model.footprint_bytes(sizes) <= space.memory_limit(config.num_blocks)
+
+    def test_neighbours_are_feasible_one_knob_moves(self, matmul):
+        space = ConfigurationSpace(matmul, space_options=GRID_SPACE)
+        config = space.enumerate()[1]
+        for neighbour in space.neighbours(config):
+            assert neighbour != config
+            model = space.cost_model(neighbour.num_blocks, neighbour.threads_per_block)
+            assert model.work_per_tile(neighbour.tile_dict) >= neighbour.threads_per_block
+
+
+# -- evaluation --------------------------------------------------------------------
+class TestEvaluator:
+    def test_infeasible_configuration_is_reported_not_raised(self):
+        program = build_matmul_program(64, 64, 64)
+        evaluator = ConfigurationEvaluator(program)
+        # A giant tile cannot fit any block in the 16 KB scratchpad.
+        result = evaluator.evaluate(Configuration.make(1, 64, {"i": 64, "j": 64, "k": 64}))
+        assert not result.feasible
+        assert result.error
+        assert result.time_ms == float("inf")
+
+    def test_spot_check_confirms_correct_mapping(self):
+        kernel = get_kernel("matmul")
+        program = kernel.build_check()
+        evaluator = ConfigurationEvaluator(program, check_correctness=True, seed=3)
+        result = evaluator.evaluate(Configuration.make(4, 16, {"i": 4, "j": 4, "k": 8}))
+        assert result.feasible
+        assert result.correct is True
+
+    def test_best_result_breaks_ties_on_key(self):
+        tie = lambda tiles: EvaluationResult(
+            configuration=Configuration.make(16, 64, tiles),
+            time_ms=1.0, cycles=1350.0, feasible=True,
+        )
+        winner = best_result([tie({"i": 8}), tie({"i": 4})])
+        assert winner.configuration.tile_dict == {"i": 4}
+
+    def test_best_result_never_returns_a_failed_spot_check(self):
+        fast_but_wrong = EvaluationResult(
+            configuration=Configuration.make(16, 64, {"i": 4}),
+            time_ms=0.5, cycles=675.0, feasible=True, correct=False,
+        )
+        slow_but_right = EvaluationResult(
+            configuration=Configuration.make(16, 64, {"i": 8}),
+            time_ms=2.0, cycles=2700.0, feasible=True, correct=True,
+        )
+        winner = best_result([fast_but_wrong, slow_but_right])
+        assert winner.configuration.tile_dict == {"i": 8}
+
+    def test_no_feasible_result_raises(self):
+        infeasible = EvaluationResult(
+            configuration=Configuration.make(1, 64, {"i": 64}),
+            time_ms=float("inf"), cycles=float("inf"), feasible=False,
+        )
+        with pytest.raises(ValueError):
+            best_result([infeasible])
+
+
+# -- session / acceptance ----------------------------------------------------------
+class TestAutotuneSession:
+    def test_best_not_worse_than_seed_pipeline_default(self, matmul):
+        report = autotune(matmul, space_options=GRID_SPACE)
+        assert report.best.feasible
+        assert report.best.cycles <= report.baseline.cycles
+        assert report.best.time_ms <= report.baseline.time_ms
+        assert report.speedup_over_baseline >= 1.0
+
+    def test_cache_miss_when_correctness_check_requested(self, tmp_path):
+        program = build_matmul_program(8, 8, 8)
+        cache = TuningCache(tmp_path / "cache.json")
+        unchecked = autotune(program, space_options=SMALL_SPACE, cache=cache)
+        checked = autotune(
+            program, space_options=SMALL_SPACE, cache=cache, check_correctness=True
+        )
+        assert not checked.from_cache  # a report without spot-checks must not satisfy it
+        assert checked.fingerprint != unchecked.fingerprint
+        assert checked.best.correct is True
+
+    def test_warm_cache_round_trip_zero_compiles(self, matmul, tmp_path):
+        path = tmp_path / "cache.json"
+        cold = autotune(matmul, space_options=SMALL_SPACE, cache=TuningCache(path))
+        assert not cold.from_cache
+
+        COMPILE_COUNTER.reset()
+        warm = autotune(matmul, space_options=SMALL_SPACE, cache=TuningCache(path))
+        assert COMPILE_COUNTER.count == 0
+        assert warm.from_cache
+        assert warm.to_dict() == cold.to_dict()
+
+    def test_parallel_report_identical_to_serial(self, matmul):
+        serial = autotune(matmul, space_options=GRID_SPACE, max_workers=1)
+        parallel = autotune(matmul, space_options=GRID_SPACE, max_workers=4)
+        assert parallel.to_dict() == serial.to_dict()
+
+    def test_hillclimb_is_seeded_and_parallel_safe(self, matmul):
+        strategy = RandomHillClimbSearch(seed=11, restarts=1, max_steps=1)
+        one = autotune(matmul, space_options=SMALL_SPACE, strategy=strategy, max_workers=1)
+        two = autotune(matmul, space_options=SMALL_SPACE, strategy=strategy, max_workers=3)
+        assert one.to_dict() == two.to_dict()
+        assert one.strategy == "hillclimb"
+
+    def test_exhaustive_covers_at_least_the_pruned_grid(self):
+        program = build_matmul_program(16, 16, 16)
+        pruned = autotune(program, space_options=SMALL_SPACE, strategy="pruned")
+        exhaustive = autotune(program, space_options=SMALL_SPACE, strategy="exhaustive")
+        assert exhaustive.num_evaluations >= pruned.num_evaluations
+        assert exhaustive.best.time_ms <= pruned.best.time_ms
+
+    def test_best_configuration_replays_through_pipeline(self, matmul):
+        report = autotune(matmul, space_options=SMALL_SPACE)
+        mapped = MappingPipeline().compile_with_config(matmul, report.best.configuration)
+        assert mapped.tile_sizes == report.best.configuration.tile_dict
+        assert mapped.tile_search is None  # the search never ran on replay
+
+    def test_batch_tunes_many_problem_sizes_with_shared_cache(self, tmp_path):
+        cache = TuningCache(tmp_path / "batch.json")
+        jobs = [
+            TuningJob(build_matmul_program(32, 32, 32), label="small"),
+            TuningJob(build_matmul_program(64, 64, 64), label="large"),
+        ]
+        reports = autotune_batch(jobs, cache=cache, space_options=SMALL_SPACE)
+        assert [r.kernel_name for r in reports] == ["small", "large"]
+        assert len(cache) == 2
+        warm = autotune_batch(jobs, cache=TuningCache(tmp_path / "batch.json"),
+                              space_options=SMALL_SPACE)
+        assert all(r.from_cache for r in warm)
+
+    def test_report_dict_round_trip(self, matmul):
+        report = autotune(matmul, space_options=SMALL_SPACE)
+        clone = TuningReport.from_dict(json.loads(json.dumps(report.to_dict())))
+        assert clone.best.to_dict() == report.best.to_dict()
+        assert clone.fingerprint == report.fingerprint
+
+    def test_invalid_inputs_rejected(self, matmul):
+        with pytest.raises(ValueError):
+            autotune(matmul, max_workers=0)
+        with pytest.raises(ValueError):
+            resolve_strategy("simulated-annealing")
+        with pytest.raises(TypeError):
+            resolve_strategy(42)
+
+
+# -- cache -------------------------------------------------------------------------
+class TestTuningCache:
+    def test_fingerprint_sensitive_to_every_input(self, matmul):
+        base = fingerprint(matmul, GEFORCE_8800_GTX, None, MappingOptions(),
+                           {"name": "pruned"}, {"space": 1})
+        other_program = build_matmul_program(16, 16, 16)
+        assert fingerprint(other_program, GEFORCE_8800_GTX, None, MappingOptions(),
+                           {"name": "pruned"}, {"space": 1}) != base
+        assert fingerprint(matmul, GEFORCE_8800_GTX, None,
+                           MappingOptions(threads_per_block=128),
+                           {"name": "pruned"}, {"space": 1}) != base
+        assert fingerprint(matmul, GEFORCE_8800_GTX, None, MappingOptions(),
+                           {"name": "exhaustive"}, {"space": 1}) != base
+        assert fingerprint(matmul, GEFORCE_8800_GTX, None, MappingOptions(),
+                           {"name": "pruned"}, {"space": 2}) != base
+        # and stable across calls
+        assert fingerprint(matmul, GEFORCE_8800_GTX, None, MappingOptions(),
+                           {"name": "pruned"}, {"space": 1}) == base
+
+    def test_persistence_across_instances(self, tmp_path):
+        path = tmp_path / "cache.json"
+        first = TuningCache(path)
+        first.put("k", {"value": 1})
+        second = TuningCache(path)
+        assert second.get("k") == {"value": 1}
+        assert second.stats()["hits"] == 1
+
+    def test_concurrent_instances_merge_instead_of_clobbering(self, tmp_path):
+        path = tmp_path / "cache.json"
+        a = TuningCache(path)  # both load the (empty) file before either writes
+        b = TuningCache(path)
+        a.put("ka", {"v": "a"})
+        b.put("kb", {"v": "b"})
+        merged = TuningCache(path)
+        assert merged.get("ka") == {"v": "a"}
+        assert merged.get("kb") == {"v": "b"}
+
+    def test_corrupt_file_means_cold_cache(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{ not json")
+        cache = TuningCache(path)
+        assert len(cache) == 0
+        assert cache.get("missing") is None
+        assert cache.misses == 1
+
+    def test_version_mismatch_discards_entries(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"version": 999, "entries": {"k": {"v": 1}}}))
+        assert len(TuningCache(path)) == 0
+
+    def test_in_memory_cache_needs_no_path(self):
+        cache = TuningCache()
+        cache.put("k", {"v": 2})
+        assert cache.get("k") == {"v": 2}
+        cache.clear()
+        assert len(cache) == 0
+
+
+# -- options / pipeline satellites -------------------------------------------------
+class TestOptionValidation:
+    def test_rejects_non_positive_tile_sizes(self):
+        with pytest.raises(ValueError, match="tile size"):
+            MappingOptions(tile_sizes={"i": 0})
+        with pytest.raises(ValueError, match="tile size"):
+            MappingOptions(tile_sizes={"i": -4})
+        with pytest.raises(ValueError, match="tile size"):
+            MappingOptions(tile_sizes={"i": 2.5})
+
+    def test_rejects_bad_counts_and_target(self):
+        with pytest.raises(ValueError):
+            MappingOptions(num_blocks=0)
+        with pytest.raises(ValueError):
+            MappingOptions(threads_per_block=-1)
+        with pytest.raises(ValueError):
+            MappingOptions(num_blocks=True)
+        with pytest.raises(ValueError):
+            MappingOptions(threads_per_block=True)
+        with pytest.raises(ValueError, match="target"):
+            MappingOptions(target="fpga")
+
+    def test_options_dict_round_trip(self):
+        options = MappingOptions(num_blocks=8, tile_sizes={"i": 4}, delta=0.5)
+        assert MappingOptions.from_dict(options.to_dict()) == options
+        with pytest.raises(ValueError, match="unknown"):
+            MappingOptions.from_dict({"warp_size": 32})
+
+
+# -- CLI ---------------------------------------------------------------------------
+class TestCli:
+    def test_list_kernels(self, capsys):
+        assert cli_main(["--list-kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out and "jacobi1d" in out
+
+    def test_unknown_kernel_fails_cleanly(self, capsys):
+        assert cli_main(["no_such_kernel"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_tune_and_warm_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cli-cache.json")
+        args = ["matmul", "--size", "m=32", "n=32", "k=32", "--cache", cache,
+                "--top", "2", "--threads", "64", "--blocks", "16"]
+        assert cli_main(args) == 0
+        cold_out = capsys.readouterr().out
+        assert "pipeline compiles this call: 0" not in cold_out
+        assert cli_main(args) == 0
+        warm_out = capsys.readouterr().out
+        assert "pipeline compiles this call: 0" in warm_out
+        assert "[cache]" in warm_out
