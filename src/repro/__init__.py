@@ -13,15 +13,29 @@ Public API highlights
   tile-size search (Section 4).
 * :class:`repro.core.MappingPipeline` — the end-to-end compiler.
 * :func:`repro.autotune.autotune` — empirical autotuning with parallel
-  evaluation and a persistent compilation cache.
+  (thread or process) evaluation and a persistent compilation cache.
+* :mod:`repro.service` — the autotuner served as a long-lived multi-process
+  tuning server with a shared cache and in-flight request deduplication.
 * :mod:`repro.machine` — the GPU / CPU performance models standing in for the
   paper's GeForce 8800 GTX testbed.
 * :mod:`repro.kernels` — the evaluation workloads (MPEG-4 ME, 1-D Jacobi,
   matmul, conv2d).
 """
 
-from repro.autotune import TuningCache, TuningReport, autotune, autotune_batch
-from repro.core import COMPILE_COUNTER, MappedKernel, MappingOptions, MappingPipeline
+from repro.autotune import (
+    TuningCache,
+    TuningReport,
+    autotune,
+    autotune_batch,
+    tuning_fingerprint,
+)
+from repro.core import (
+    COMPILE_COUNTER,
+    MappedKernel,
+    MappingOptions,
+    MappingPipeline,
+    counting_compiles,
+)
 from repro.ir import Program, ProgramBuilder
 from repro.machine import (
     CPUPerformanceModel,
@@ -43,6 +57,8 @@ __all__ = [
     "TuningReport",
     "autotune",
     "autotune_batch",
+    "counting_compiles",
+    "tuning_fingerprint",
     "MappedKernel",
     "MappingOptions",
     "MappingPipeline",

@@ -22,7 +22,10 @@ machine.  This package supplies that empirical layer as a reusable service:
 from repro.autotune.cache import TuningCache, fingerprint
 from repro.autotune.evaluate import ConfigurationEvaluator, EvaluationResult, best_result
 from repro.autotune.search import (
+    EXECUTORS,
+    ExecutorFallbackWarning,
     ExhaustiveSearch,
+    PooledBatchEvaluator,
     PrunedGridSearch,
     RandomHillClimbSearch,
     SearchStrategy,
@@ -30,7 +33,13 @@ from repro.autotune.search import (
     make_batch_evaluator,
     resolve_strategy,
 )
-from repro.autotune.session import TuningJob, TuningReport, autotune, autotune_batch
+from repro.autotune.session import (
+    TuningJob,
+    TuningReport,
+    autotune,
+    autotune_batch,
+    tuning_fingerprint,
+)
 from repro.autotune.space import Configuration, ConfigurationSpace, SpaceOptions
 
 __all__ = [
@@ -38,7 +47,10 @@ __all__ = [
     "ConfigurationSpace",
     "ConfigurationEvaluator",
     "EvaluationResult",
+    "EXECUTORS",
+    "ExecutorFallbackWarning",
     "ExhaustiveSearch",
+    "PooledBatchEvaluator",
     "PrunedGridSearch",
     "RandomHillClimbSearch",
     "SearchStrategy",
@@ -53,4 +65,5 @@ __all__ = [
     "fingerprint",
     "make_batch_evaluator",
     "resolve_strategy",
+    "tuning_fingerprint",
 ]

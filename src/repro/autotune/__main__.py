@@ -2,4 +2,7 @@
 
 from repro.autotune.cli import main
 
-raise SystemExit(main())
+# Guarded so spawn-based worker processes re-importing the parent's main
+# module (e.g. process-pool evaluation) do not start a second CLI.
+if __name__ == "__main__":
+    raise SystemExit(main())

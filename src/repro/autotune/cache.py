@@ -20,21 +20,42 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import warnings
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
 
 try:
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
-from dataclasses import asdict
-from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.core.options import MappingOptions
 from repro.ir.printer import program_to_c
 from repro.ir.program import Program
 from repro.machine.spec import GPUSpec
 
-CACHE_VERSION = 1
+#: version 2: entry file order is insertion order (prune's "oldest"); files
+#: written by version 1 (key-sorted) are discarded as a cold cache rather
+#: than mis-pruned
+CACHE_VERSION = 2
+
+#: whether the missing-fcntl warning has been emitted (once per process)
+_warned_unlocked = False
+
+
+def _warn_unlocked_writes() -> None:
+    global _warned_unlocked
+    if _warned_unlocked:
+        return
+    _warned_unlocked = True
+    warnings.warn(
+        "fcntl is unavailable on this platform: TuningCache writes proceed "
+        "without inter-process file locking, so concurrent writers may race",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 
 def canonical_json(payload: Any) -> str:
@@ -77,6 +98,10 @@ class TuningCache:
     ``path=None`` keeps the cache in memory only (useful for tests and
     one-shot sessions); with a path, every :meth:`put` persists immediately
     and a fresh instance pointed at the same file starts warm.
+
+    Thread-safe: an internal lock serialises the threads of one process
+    sharing an instance (the tuning service's thread-executor mode), while
+    the ``fcntl`` file lock serialises *processes* sharing the backing file.
     """
 
     def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
@@ -84,39 +109,98 @@ class TuningCache:
         self.hits = 0
         self.misses = 0
         self._entries: Dict[str, Dict[str, Any]] = {}
+        self._mutex = threading.Lock()
         if self.path is not None and self.path.exists():
             self._load()
 
     # -- mapping interface ---------------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored report for ``key``, counting the hit or miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry
+
+    def peek(self, key: str) -> Optional[Dict[str, Any]]:
+        """:meth:`get` without touching the hit/miss counters.
+
+        For probes that are not a request's authoritative lookup (monitoring,
+        tests) so hit-rate statistics only count real lookups.
+        """
+        with self._mutex:
+            return self._entries.get(key)
 
     def put(self, key: str, value: Mapping[str, Any]) -> None:
         """Store a report and (when file-backed) persist atomically."""
-        self._entries[key] = dict(value)
-        if self.path is not None:
-            self._save()
+        with self._mutex:
+            self._entries[key] = dict(value)
+            if self.path is not None:
+                self._save()
+
+    def absorb(self, key: str, value: Mapping[str, Any]) -> None:
+        """Store a report in memory *without* persisting.
+
+        For results another process already wrote to the backing file (the
+        tuning service's worker processes): the entry becomes visible to this
+        instance's :meth:`get` without a redundant read-merge-write cycle.
+        """
+        with self._mutex:
+            self._entries[key] = dict(value)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._mutex:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop every entry (and the backing file's contents)."""
-        self._entries.clear()
-        if self.path is not None:
-            self._save(merge=False)
+        with self._mutex:
+            self._entries.clear()
+            if self.path is not None:
+                self._save(merge=False)
+
+    def prune(self, max_entries: int) -> int:
+        """Drop the oldest entries beyond ``max_entries``; returns the count dropped.
+
+        "Oldest" is insertion order (JSON objects preserve it round-trip).
+        The save skips the usual read-merge so this instance's later saves
+        cannot resurrect the pruned entries from disk.  A *different* live
+        process still holding them in memory will merge them back on its next
+        save, though — run maintenance pruning while writers are idle.
+        """
+        if max_entries < 0:
+            raise ValueError(f"max_entries cannot be negative, got {max_entries}")
+        with self._mutex:
+            drop = len(self._entries) - max_entries
+            if drop <= 0:
+                return 0
+            for key in list(self._entries)[:drop]:
+                del self._entries[key]
+            if self.path is not None:
+                self._save(merge=False)
+            return drop
 
     def stats(self) -> Dict[str, int]:
-        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+        """Entry count, on-disk bytes (0 when in-memory), and hit/miss counters."""
+        size = 0
+        if self.path is not None:
+            try:
+                size = self.path.stat().st_size
+            except OSError:
+                size = 0
+        with self._mutex:
+            return {
+                "entries": len(self._entries),
+                "bytes": size,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     # -- persistence ---------------------------------------------------------------
     def _load(self) -> None:
@@ -135,8 +219,9 @@ class TuningCache:
 
     @contextlib.contextmanager
     def _file_lock(self):
-        """Exclusive advisory lock on a sidecar file (no-op without fcntl)."""
+        """Exclusive advisory lock on a sidecar file (warns, once, without fcntl)."""
         if fcntl is None:
+            _warn_unlocked_writes()
             yield
             return
         lock_path = self.path.with_name(self.path.name + ".lock")
@@ -167,7 +252,9 @@ class TuningCache:
             )
             try:
                 with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                    json.dump(payload, handle, sort_keys=True, indent=1)
+                    # No sort_keys: entry insertion order must survive the
+                    # round-trip — prune() defines "oldest" by it.
+                    json.dump(payload, handle, indent=1)
                 os.replace(temp_name, self.path)
             except BaseException:
                 try:

@@ -11,35 +11,39 @@ Tune a 256³ matmul with 4 parallel evaluators and a persistent cache::
     python -m repro.autotune matmul --size m=256 n=256 k=256 \\
         --strategy pruned --workers 4 --cache .autotune-cache.json
 
-A second identical invocation is served entirely from the cache.
+A second identical invocation is served entirely from the cache.  Inspect or
+bound that cache with the maintenance subcommands::
+
+    python -m repro.autotune cache-stats --cache .autotune-cache.json
+    python -m repro.autotune cache-prune --cache .autotune-cache.json --max-entries 64
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.pipeline import COMPILE_COUNTER
+from repro.core.pipeline import counting_compiles
 from repro.kernels.registry import available_kernels, get_kernel
 from repro.autotune.cache import TuningCache
-from repro.autotune.search import STRATEGIES
+from repro.autotune.search import EXECUTORS, STRATEGIES, ExecutorFallbackWarning
 from repro.autotune.session import autotune
 from repro.autotune.space import SpaceOptions
 
 
-def _parse_sizes(pairs: Sequence[str]) -> Dict[str, int]:
+def parse_sizes(pairs: Sequence[str]) -> Dict[str, int]:
+    """Parse ``name=value`` problem-size pairs (shared with the service CLI)."""
     sizes: Dict[str, int] = {}
     for pair in pairs:
-        if "=" not in pair:
-            raise argparse.ArgumentTypeError(
-                f"size must look like name=value, got {pair!r}"
-            )
-        name, _, value = pair.partition("=")
+        name, sep, value = pair.partition("=")
+        if not sep:
+            raise ValueError(f"size must look like name=value, got {pair!r}")
         try:
             sizes[name.strip()] = int(value)
         except ValueError:
-            raise argparse.ArgumentTypeError(
+            raise ValueError(
                 f"size value for {name!r} must be an integer, got {value!r}"
             ) from None
     return sizes
@@ -49,6 +53,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.autotune",
         description="Empirically autotune a kernel's mapping on the machine models.",
+        epilog="maintenance subcommands (dispatched before tuning arguments): "
+        "'cache-stats --cache PATH' prints cache statistics; "
+        "'cache-prune --cache PATH --max-entries N' drops the oldest entries.",
     )
     parser.add_argument("kernel", nargs="?", help="registered kernel name")
     parser.add_argument(
@@ -69,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers", type=int, default=1, help="parallel evaluation workers"
+    )
+    parser.add_argument(
+        "--executor",
+        default="thread",
+        choices=EXECUTORS,
+        help="worker kind for parallel evaluation (process escapes the GIL)",
     )
     parser.add_argument(
         "--cache", default=None, metavar="PATH", help="persistent cache file"
@@ -105,7 +118,53 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cache_tools_parser(command: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro.autotune {command}",
+        description="Inspect or bound a persistent tuning cache.",
+    )
+    parser.add_argument(
+        "--cache", required=True, metavar="PATH", help="persistent cache file"
+    )
+    if command == "cache-prune":
+        parser.add_argument(
+            "--max-entries",
+            type=int,
+            required=True,
+            help="keep at most this many (newest) entries",
+        )
+    return parser
+
+
+def cache_stats_main(argv: Sequence[str]) -> int:
+    args = _cache_tools_parser("cache-stats").parse_args(argv)
+    cache = TuningCache(args.cache)
+    stats = cache.stats()
+    print(f"cache {args.cache}")
+    # hit/miss counters are per-instance and would always read 0 here; the
+    # live numbers come from a running session or the server's /cache/stats
+    for field in ("entries", "bytes"):
+        print(f"  {field}: {stats[field]}")
+    return 0
+
+
+def cache_prune_main(argv: Sequence[str]) -> int:
+    args = _cache_tools_parser("cache-prune").parse_args(argv)
+    if args.max_entries < 0:
+        print("error: --max-entries cannot be negative", file=sys.stderr)
+        return 2
+    cache = TuningCache(args.cache)
+    dropped = cache.prune(args.max_entries)
+    print(f"pruned {dropped} entries; {len(cache)} remain in {args.cache}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "cache-stats":
+        return cache_stats_main(argv[1:])
+    if argv and argv[0] == "cache-prune":
+        return cache_prune_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -120,9 +179,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         kernel = get_kernel(args.kernel)
-        sizes = _parse_sizes(args.size)
+        sizes = parse_sizes(args.size)
         program = kernel.build(**sizes)
-    except (KeyError, ValueError, argparse.ArgumentTypeError) as error:
+    except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else str(error)
         print(f"error: {message}", file=sys.stderr)
         return 2
@@ -134,21 +193,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         scratchpad_choices=(True, False) if args.allow_no_scratchpad else (True,),
     )
     cache = TuningCache(args.cache) if args.cache else None
-    compiles_before = COMPILE_COUNTER.count
-    report = autotune(
-        program,
-        strategy=args.strategy,
-        max_workers=args.workers,
-        cache=cache,
-        seed=args.seed,
-        space_options=space_options,
-        check_correctness=args.check,
-        check_program=kernel.build_check() if args.check else None,
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", RuntimeWarning)
+        with counting_compiles() as compiles:
+            report = autotune(
+                program,
+                strategy=args.strategy,
+                max_workers=args.workers,
+                executor=args.executor,
+                cache=cache,
+                seed=args.seed,
+                space_options=space_options,
+                check_correctness=args.check,
+                check_program=kernel.build_check() if args.check else None,
+            )
+    for warning in caught:  # surface e.g. the process→thread pickle fallback
+        print(f"warning: {warning.message}", file=sys.stderr)
+    fell_back_to_threads = any(
+        issubclass(w.category, ExecutorFallbackWarning) for w in caught
     )
-    compiles = COMPILE_COUNTER.count - compiles_before
 
     print(report.summary())
-    print(f"pipeline compiles this call: {compiles}")
+    # With the process executor, evaluation compiles happen in worker
+    # processes and never touch this process's counter — flag that so a cold
+    # run is not mistaken for a warm cache hit.
+    suffix = ""
+    if (
+        args.executor == "process"
+        and args.workers > 1
+        and not report.from_cache
+        and not fell_back_to_threads
+    ):
+        suffix = " (+ evaluation compiles in worker processes)"
+    print(f"pipeline compiles this call: {compiles.count}{suffix}")
     if cache is not None:
         print(f"cache: {cache.stats()} at {cache.path}")
     ranked = sorted(

@@ -10,15 +10,22 @@ Three strategies, in increasing reliance on the analytical model:
 
 All strategies funnel candidate batches through an *evaluate-many* callable;
 :func:`make_batch_evaluator` builds one that fans a batch out over a
-``concurrent.futures`` thread pool.  Results always come back in candidate
-order and winners are tie-broken on the configuration key, so a parallel run
-is bit-for-bit identical to a serial one.
+``concurrent.futures`` pool — threads by default, or worker *processes*
+(``executor="process"``) to escape the GIL for pure-Python pipeline compiles.
+Results always come back in candidate order and winners are tie-broken on the
+configuration key, so a parallel run is bit-for-bit identical to a serial one
+under either executor.
 """
 
 from __future__ import annotations
 
+import math
+import multiprocessing
+import pickle
 import random
-from concurrent.futures import ThreadPoolExecutor
+import threading
+import warnings
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.autotune.evaluate import ConfigurationEvaluator, EvaluationResult, best_result
@@ -27,27 +34,108 @@ from repro.autotune.space import Configuration, ConfigurationSpace
 #: evaluates a batch of configurations, preserving order
 BatchEvaluator = Callable[[Sequence[Configuration]], List[EvaluationResult]]
 
+#: executors accepted by :func:`make_batch_evaluator` / :func:`autotune`
+EXECUTORS = ("thread", "process")
 
-def make_batch_evaluator(
-    evaluator: ConfigurationEvaluator, max_workers: int = 1
-) -> BatchEvaluator:
-    """Wrap an evaluator into an order-preserving (optionally parallel) batch map.
 
-    ``max_workers > 1`` uses a thread pool; evaluation is pure, and
-    ``Executor.map`` yields results in submission order, so parallelism never
-    changes the produced report.
+class ExecutorFallbackWarning(RuntimeWarning):
+    """Process-based evaluation was requested but fell back to threads."""
+
+
+class PooledBatchEvaluator:
+    """Order-preserving batch map over a reusable worker pool.
+
+    Serial when ``max_workers <= 1``; otherwise a lazily-created
+    ``ThreadPoolExecutor`` or ``ProcessPoolExecutor`` that is kept open across
+    batches (hill climbing evaluates one batch per generation, and forking a
+    fresh process pool per generation would dominate the runtime).  Evaluation
+    is pure and ``Executor.map`` yields in submission order, so the produced
+    report is identical under any worker count and executor kind.  Call
+    :meth:`close` (or use as a context manager) when done.
     """
-    if max_workers <= 1:
-        return lambda configs: [evaluator.evaluate(c) for c in configs]
 
-    def parallel(configs: Sequence[Configuration]) -> List[EvaluationResult]:
+    def __init__(
+        self,
+        evaluator: ConfigurationEvaluator,
+        max_workers: int = 1,
+        executor: str = "thread",
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if executor == "process" and max_workers > 1:
+            try:
+                pickle.dumps(evaluator)
+            except Exception as error:  # pickling raises a menagerie of types
+                warnings.warn(
+                    "process-based evaluation needs a picklable program/evaluator "
+                    f"({type(error).__name__}: {error}); falling back to threads",
+                    ExecutorFallbackWarning,
+                    stacklevel=3,
+                )
+                executor = "thread"
+        self.evaluator = evaluator
+        self.max_workers = max_workers
+        self.executor = executor
+        self._pool: Optional[Executor] = None
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            if self.executor == "process":
+                # fork is the fast path from the typical single-threaded
+                # caller (CLI, scripts); a caller that already runs other
+                # threads gets spawn instead — fork() from a multi-threaded
+                # process can clone a mid-acquire lock into the worker and
+                # deadlock it (spawn carries the standard caveat that the
+                # embedding program's main module must be importable).
+                method = "fork" if threading.active_count() == 1 else "spawn"
+                if method not in multiprocessing.get_all_start_methods():
+                    method = "spawn"
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=multiprocessing.get_context(method),
+                )
+            else:
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def __call__(self, configs: Sequence[Configuration]) -> List[EvaluationResult]:
         configs = list(configs)
         if not configs:
             return []
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(evaluator.evaluate, configs))
+        if self.max_workers <= 1:
+            return [self.evaluator.evaluate(c) for c in configs]
+        pool = self._ensure_pool()
+        if self.executor == "process":
+            # One pickled (evaluator, chunk) round-trip per chunk, not per config.
+            chunksize = max(1, math.ceil(len(configs) / (self.max_workers * 4)))
+            return list(pool.map(self.evaluator.evaluate, configs, chunksize=chunksize))
+        return list(pool.map(self.evaluator.evaluate, configs))
 
-    return parallel
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "PooledBatchEvaluator":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def make_batch_evaluator(
+    evaluator: ConfigurationEvaluator,
+    max_workers: int = 1,
+    executor: str = "thread",
+) -> PooledBatchEvaluator:
+    """Wrap an evaluator into an order-preserving (optionally parallel) batch map.
+
+    ``max_workers > 1`` fans batches out over a pool: ``executor="thread"``
+    (default) or ``"process"`` — the latter escapes the GIL for cold tuning
+    runs, falling back to threads with a ``RuntimeWarning`` when the evaluator
+    (typically its program) is not picklable.
+    """
+    return PooledBatchEvaluator(evaluator, max_workers=max_workers, executor=executor)
 
 
 class SearchStrategy:

@@ -21,6 +21,7 @@ from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
 from repro.autotune.cache import TuningCache, fingerprint
 from repro.autotune.evaluate import ConfigurationEvaluator, EvaluationResult, best_result
 from repro.autotune.search import (
+    EXECUTORS,
     SearchStrategy,
     make_batch_evaluator,
     resolve_strategy,
@@ -106,51 +107,32 @@ class TuningJob:
         return self.label or self.program.name
 
 
-def autotune(
+def _prepare_request(
     program: Program,
-    spec: GPUSpec = GEFORCE_8800_GTX,
-    param_values: Optional[Mapping[str, int]] = None,
-    options: Optional[MappingOptions] = None,
-    strategy: Union[str, SearchStrategy] = "pruned",
-    max_workers: int = 1,
-    cache: Optional[TuningCache] = None,
-    seed: int = 0,
-    space_options: Optional[SpaceOptions] = None,
-    check_correctness: bool = False,
-    check_program: Optional[Program] = None,
-) -> TuningReport:
-    """Empirically tune the mapping of ``program`` on ``spec``.
+    spec: GPUSpec,
+    param_values: Optional[Mapping[str, int]],
+    options: Optional[MappingOptions],
+    strategy: Union[str, SearchStrategy],
+    seed: int,
+    space_options: Optional[SpaceOptions],
+    check_correctness: bool,
+    check_program: Optional[Program],
+):
+    """Resolve one tuning request into (options, strategy, space, fingerprint).
 
-    Parameters
-    ----------
-    strategy:
-        ``"exhaustive"``, ``"pruned"`` (default), ``"hillclimb"``, or a
-        :class:`SearchStrategy` instance.
-    max_workers:
-        Evaluate candidates on a thread pool of this size; the report is
-        identical for any worker count.
-    cache:
-        A :class:`TuningCache`; a warm entry is returned without a single
-        pipeline compile.
-    seed:
-        Drives every randomised search path (and the correctness spot-check
-        inputs), making runs reproducible.
-    check_correctness / check_program:
-        Also verify each configuration through the reference interpreter
-        (against ``check_program`` when the tuned problem is too large to
-        interpret).
+    Shared by :func:`autotune` and :func:`tuning_fingerprint` so the key the
+    tuning service deduplicates on is byte-identical to the key the cache
+    stores under.  Building the space is cheap (band analysis and loop
+    extents — no pipeline compile happens here).
     """
-    if max_workers <= 0:
-        raise ValueError("max_workers must be positive")
     options = options or MappingOptions()
     strategy = resolve_strategy(strategy, seed=seed)
-    space_options = space_options or SpaceOptions()
     space = ConfigurationSpace(
         program,
         spec=spec,
         param_values=param_values,
         base_options=options,
-        space_options=space_options,
+        space_options=space_options or SpaceOptions(),
     )
     check_signature: Dict[str, Any] = {"enabled": check_correctness}
     if check_correctness:
@@ -166,6 +148,79 @@ def autotune(
         space.describe(),
         check_signature,
     )
+    return options, strategy, space, key
+
+
+def tuning_fingerprint(
+    program: Program,
+    spec: GPUSpec = GEFORCE_8800_GTX,
+    param_values: Optional[Mapping[str, int]] = None,
+    options: Optional[MappingOptions] = None,
+    strategy: Union[str, SearchStrategy] = "pruned",
+    seed: int = 0,
+    space_options: Optional[SpaceOptions] = None,
+    check_correctness: bool = False,
+    check_program: Optional[Program] = None,
+) -> str:
+    """The cache fingerprint :func:`autotune` would use for this request.
+
+    Lets callers (notably :mod:`repro.service`) deduplicate identical
+    in-flight requests and probe the cache without starting a tuning run.
+    """
+    _options, _strategy, _space, key = _prepare_request(
+        program, spec, param_values, options, strategy, seed,
+        space_options, check_correctness, check_program,
+    )
+    return key
+
+
+def autotune(
+    program: Program,
+    spec: GPUSpec = GEFORCE_8800_GTX,
+    param_values: Optional[Mapping[str, int]] = None,
+    options: Optional[MappingOptions] = None,
+    strategy: Union[str, SearchStrategy] = "pruned",
+    max_workers: int = 1,
+    executor: str = "thread",
+    cache: Optional[TuningCache] = None,
+    seed: int = 0,
+    space_options: Optional[SpaceOptions] = None,
+    check_correctness: bool = False,
+    check_program: Optional[Program] = None,
+) -> TuningReport:
+    """Empirically tune the mapping of ``program`` on ``spec``.
+
+    Parameters
+    ----------
+    strategy:
+        ``"exhaustive"``, ``"pruned"`` (default), ``"hillclimb"``, or a
+        :class:`SearchStrategy` instance.
+    max_workers:
+        Evaluate candidates on a pool of this size; the report is identical
+        for any worker count.
+    executor:
+        ``"thread"`` (default) or ``"process"`` — worker processes escape the
+        GIL for cold tuning runs (falling back to threads with a warning when
+        the program is not picklable).
+    cache:
+        A :class:`TuningCache`; a warm entry is returned without a single
+        pipeline compile.
+    seed:
+        Drives every randomised search path (and the correctness spot-check
+        inputs), making runs reproducible.
+    check_correctness / check_program:
+        Also verify each configuration through the reference interpreter
+        (against ``check_program`` when the tuned problem is too large to
+        interpret).
+    """
+    if max_workers <= 0:
+        raise ValueError("max_workers must be positive")
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    options, strategy, space, key = _prepare_request(
+        program, spec, param_values, options, strategy, seed,
+        space_options, check_correctness, check_program,
+    )
     if cache is not None:
         stored = cache.get(key)
         if stored is not None:
@@ -180,8 +235,10 @@ def autotune(
         check_program=check_program,
         seed=seed,
     )
-    evaluate_many = make_batch_evaluator(evaluator, max_workers=max_workers)
-    results = strategy.run(space, evaluate_many)
+    with make_batch_evaluator(
+        evaluator, max_workers=max_workers, executor=executor
+    ) as evaluate_many:
+        results = strategy.run(space, evaluate_many)
     if not results:
         raise ValueError("search strategy produced no evaluations")
 

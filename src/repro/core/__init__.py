@@ -7,12 +7,21 @@ extraction for the machine models.
 """
 
 from repro.core.options import MappingOptions
-from repro.core.pipeline import COMPILE_COUNTER, CompileCounter, MappedKernel, MappingPipeline
+from repro.core.pipeline import (
+    COMPILE_COUNTER,
+    CompileCount,
+    CompileCounter,
+    MappedKernel,
+    MappingPipeline,
+    counting_compiles,
+)
 
 __all__ = [
     "COMPILE_COUNTER",
+    "CompileCount",
     "CompileCounter",
     "MappingOptions",
     "MappedKernel",
     "MappingPipeline",
+    "counting_compiles",
 ]

@@ -15,6 +15,7 @@ The pipeline follows the paper's flow:
 
 from __future__ import annotations
 
+import contextlib
 import math
 import threading
 from dataclasses import dataclass, field
@@ -62,6 +63,32 @@ class CompileCounter:
 
 #: process-wide counter bumped by every :meth:`MappingPipeline.compile`
 COMPILE_COUNTER = CompileCounter()
+
+
+@dataclass
+class CompileCount:
+    """Result slot of :func:`counting_compiles`."""
+
+    count: int = 0
+
+
+@contextlib.contextmanager
+def counting_compiles():
+    """Count the pipeline compiles performed inside the ``with`` block.
+
+    Yields a :class:`CompileCount` whose ``count`` is final once the block
+    exits.  The delta is taken from the process-wide :data:`COMPILE_COUNTER`,
+    so compiles on *other* threads of this process during the block are
+    included — callers wanting an exact per-task figure (the tuning service's
+    per-job accounting, the CLI) should not run compiles concurrently in the
+    same process, or should treat the figure as an upper bound.
+    """
+    start = COMPILE_COUNTER.count
+    box = CompileCount()
+    try:
+        yield box
+    finally:
+        box.count = COMPILE_COUNTER.count - start
 
 
 @dataclass

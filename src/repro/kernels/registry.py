@@ -51,6 +51,16 @@ class TunableKernel:
         """Build the small functional-verification instance."""
         return self.builder(**dict(self.check_sizes or self.default_sizes))
 
+    def describe(self) -> Dict[str, object]:
+        """JSON-serialisable metadata (the tuning service's ``/kernels`` view)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "default_sizes": dict(self.default_sizes),
+            "tile_loops": list(self.tile_loops),
+            "check_sizes": dict(self.check_sizes),
+        }
+
 
 _REGISTRY: Dict[str, TunableKernel] = {}
 

@@ -1,0 +1,40 @@
+"""The tuning *service*: the autotuner served as a long-lived multi-process server.
+
+The paper's empirical loop only pays off when results are shared — the same
+(kernel, machine, options) request should be compiled once, ever, across all
+clients.  This package wraps :func:`repro.autotune.autotune` in exactly that
+contract:
+
+* :mod:`repro.service.protocol` — the JSON wire format (:class:`TuneRequest`
+  resolved against the kernel registry, :class:`JobRecord` job state);
+* :mod:`repro.service.worker` — the picklable per-job entry point run on the
+  worker pool;
+* :mod:`repro.service.server` — :class:`TuningService` (work queue over a
+  ``ProcessPoolExecutor``, one shared file-locked :class:`TuningCache`,
+  fingerprint-keyed in-flight deduplication: N concurrent identical requests
+  trigger exactly one tuning run) and :class:`TuningServer` (the JSON-over-
+  HTTP surface: ``/tune``, ``/status/<job>``, ``/cache/stats``, ``/healthz``,
+  ``/kernels``, ``/shutdown``), with graceful drain on SIGTERM;
+* :mod:`repro.service.client` — blocking (:meth:`TuningClient.tune`) and
+  asynchronous (:meth:`TuningClient.submit` → :class:`PendingTuning`) client;
+* :mod:`repro.service.cli` — ``python -m repro.service`` (serve / submit /
+  status / stats / shutdown).
+"""
+
+from repro.service.client import PendingTuning, ServiceError, TuningClient
+from repro.service.protocol import JobRecord, ResolvedRequest, TuneRequest
+from repro.service.server import ServiceUnavailable, TuningServer, TuningService
+from repro.service.worker import execute_request
+
+__all__ = [
+    "JobRecord",
+    "PendingTuning",
+    "ResolvedRequest",
+    "ServiceError",
+    "ServiceUnavailable",
+    "TuneRequest",
+    "TuningClient",
+    "TuningServer",
+    "TuningService",
+    "execute_request",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — see :mod:`repro.service.cli`."""
+
+from repro.service.cli import main
+
+# The guard is load-bearing: the server's spawn-based worker processes
+# re-import the parent's main module, which must not start a second CLI.
+if __name__ == "__main__":
+    raise SystemExit(main())

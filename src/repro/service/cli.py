@@ -1,0 +1,215 @@
+"""Command-line entry point: ``python -m repro.service``.
+
+Run a tuning server (drains gracefully on SIGTERM/SIGINT)::
+
+    python -m repro.service serve --port 8037 --workers 4 \\
+        --cache /tmp/tuning-cache.json
+
+Submit a request (``--wait`` blocks and prints the report) and shut down::
+
+    python -m repro.service submit matmul --size m=256 n=256 k=256 \\
+        --url http://127.0.0.1:8037 --wait
+    python -m repro.service stats --url http://127.0.0.1:8037
+    python -m repro.service shutdown --url http://127.0.0.1:8037
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from typing import Dict, Optional, Sequence
+
+from repro.autotune.cli import parse_sizes
+from repro.autotune.search import EXECUTORS, STRATEGIES
+from repro.autotune.session import TuningReport
+from repro.service.client import ServiceError, TuningClient
+from repro.service.protocol import TuneRequest
+from repro.service.server import TuningServer
+
+DEFAULT_URL = "http://127.0.0.1:8037"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Long-lived tuning server with a shared cache and "
+        "in-flight request deduplication.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="run a tuning server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8037, help="0 picks a free port")
+    serve.add_argument(
+        "--workers", type=int, default=2, help="tuning worker pool size"
+    )
+    serve.add_argument(
+        "--executor",
+        default="process",
+        choices=EXECUTORS,
+        help="worker kind (process escapes the GIL; default: process)",
+    )
+    serve.add_argument(
+        "--cache",
+        default=".repro-service-cache.json",
+        metavar="PATH",
+        help="shared persistent cache file (default: .repro-service-cache.json)",
+    )
+
+    submit = commands.add_parser("submit", help="submit one tuning request")
+    submit.add_argument("kernel", help="registered kernel name")
+    submit.add_argument("--url", default=DEFAULT_URL)
+    submit.add_argument(
+        "--size", nargs="*", default=[], metavar="NAME=VALUE",
+        help="problem-size overrides, e.g. --size m=256 n=256 k=256",
+    )
+    submit.add_argument("--strategy", default="pruned", choices=sorted(STRATEGIES))
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--eval-workers", type=int, default=1,
+        help="parallel evaluation fan-out inside the worker",
+    )
+    submit.add_argument(
+        "--check", action="store_true",
+        help="spot-check configurations through the interpreter",
+    )
+    submit.add_argument(
+        "--threads", type=int, nargs="*", default=None,
+        help="thread-per-block counts to explore",
+    )
+    submit.add_argument(
+        "--blocks", type=int, nargs="*", default=None,
+        help="thread-block counts to explore",
+    )
+    submit.add_argument(
+        "--wait", action="store_true", help="block until the report is ready"
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait timeout in seconds"
+    )
+
+    status = commands.add_parser("status", help="query one job")
+    status.add_argument("job", help="job id returned by submit")
+    status.add_argument("--url", default=DEFAULT_URL)
+
+    stats = commands.add_parser("stats", help="cache and server statistics")
+    stats.add_argument("--url", default=DEFAULT_URL)
+
+    shutdown = commands.add_parser("shutdown", help="drain and stop a server")
+    shutdown.add_argument("--url", default=DEFAULT_URL)
+
+    return parser
+
+
+def _serve(args: argparse.Namespace) -> int:
+    server = TuningServer(
+        host=args.host,
+        port=args.port,
+        cache=args.cache,
+        executor=args.executor,
+        max_workers=args.workers,
+    )
+
+    def handle_signal(signum: int, _frame: Optional[object]) -> None:
+        name = signal.Signals(signum).name
+        print(f"received {name}: draining in-flight jobs...", flush=True)
+        threading.Thread(target=server.stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, handle_signal)
+    signal.signal(signal.SIGINT, handle_signal)
+
+    print(
+        f"repro tuning server listening on {server.url} "
+        f"(executor={args.executor}, workers={args.workers}, cache={args.cache})",
+        flush=True,
+    )
+    server.serve_forever()
+    print("server drained and stopped", flush=True)
+    return 0
+
+
+def _submit(args: argparse.Namespace) -> int:
+    space: Dict[str, object] = {}
+    if args.threads:
+        space["thread_counts"] = list(args.threads)
+    if args.blocks:
+        space["block_counts"] = list(args.blocks)
+    request = TuneRequest(
+        kernel=args.kernel,
+        sizes=parse_sizes(args.size),
+        strategy=args.strategy,
+        seed=args.seed,
+        eval_workers=args.eval_workers,
+        check_correctness=args.check,
+        space=space or None,
+    )
+    client = TuningClient(args.url)
+    pending = client.submit(request)
+    print(f"job: {pending.job_id}")
+    print(f"fingerprint: {pending.fingerprint}")
+    print(f"outcome: {pending.outcome}")
+    if pending.outcome == "error":
+        job = pending.status()
+        print(f"error: {job.get('error') or 'submission failed'}", file=sys.stderr)
+        return 1
+    if not args.wait:
+        return 0
+    job = pending.job(timeout=args.timeout)
+    if job["status"] == "error":
+        print(f"error: {job['error']}", file=sys.stderr)
+        return 1
+    report = TuningReport.from_dict(job["report"], from_cache=bool(job["from_cache"]))
+    print(report.summary())
+    print(f"from-cache: {'true' if job['from_cache'] else 'false'}")
+    print(f"compiles: {job['compiles']}")
+    return 0
+
+
+def _status(args: argparse.Namespace) -> int:
+    job = TuningClient(args.url).status(args.job)
+    print(f"job: {job['job']}")
+    print(f"status: {job['status']}")
+    print(f"from-cache: {'true' if job['from_cache'] else 'false'}")
+    if job["compiles"] is not None:
+        print(f"compiles: {job['compiles']}")
+    if job["error"]:
+        print(f"error: {job['error']}")
+    return 0
+
+
+def _stats(args: argparse.Namespace) -> int:
+    stats = TuningClient(args.url).cache_stats()
+    for section in ("cache", "server", "jobs"):
+        print(f"{section}:")
+        for key, value in stats[section].items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _shutdown(args: argparse.Namespace) -> int:
+    response = TuningClient(args.url).shutdown()
+    print(f"status: {response['status']}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "serve": _serve,
+        "submit": _submit,
+        "status": _status,
+        "stats": _stats,
+        "shutdown": _shutdown,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ServiceError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,239 @@
+"""Client library for the tuning server (stdlib ``urllib`` only).
+
+Blocking and asynchronous usage::
+
+    client = TuningClient("http://127.0.0.1:8037")
+
+    # blocking: submit and wait for the report
+    report = client.tune(TuneRequest(kernel="matmul", sizes={"m": 256, "n": 256, "k": 256}))
+
+    # asynchronous: fire requests, poll or block on the handles later
+    pending = [client.submit(request) for request in requests]
+    reports = [p.result(timeout=300) for p in pending]
+
+Identical concurrent submissions are deduplicated *server-side*: every handle
+resolves to the same job and the same report, backed by exactly one tuning
+run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.autotune.session import TuningReport
+from repro.service.protocol import FINISHED_STATES, TuneRequest
+
+DEFAULT_HTTP_TIMEOUT = 30.0
+DEFAULT_JOB_TIMEOUT = 600.0
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level or job-level failure reported by the tuning server."""
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = dict(payload) if payload else {}
+
+
+class PendingTuning:
+    """Handle on a submitted job: poll with :meth:`status`, block with :meth:`result`."""
+
+    def __init__(
+        self,
+        client: "TuningClient",
+        job_id: str,
+        fingerprint: str,
+        outcome: str,
+        job_state: Optional[Mapping[str, Any]] = None,
+        request: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.client = client
+        self.job_id = job_id
+        self.fingerprint = fingerprint
+        #: ``"created"`` | ``"deduplicated"`` | ``"cached"`` at submission time
+        self.outcome = outcome
+        #: the full job payload, present when the job finished at submission
+        #: (warm cache hit) — no /status round trip needed then
+        self._job_state = dict(job_state) if job_state else None
+        #: the original request, kept so an evicted job can be recovered by
+        #: re-submission (the server answers from its cache)
+        self._request = dict(request) if request else None
+
+    @property
+    def deduplicated(self) -> bool:
+        return self.outcome == "deduplicated"
+
+    @property
+    def cached(self) -> bool:
+        return self.outcome == "cached"
+
+    def _recover_evicted(self) -> None:
+        """Re-submit once after the server evicted this job, adopting the new job.
+
+        Non-blocking: a completed-and-cached job answers inline at submission;
+        a job whose (error) state was genuinely lost becomes a fresh run that
+        subsequent polls track under the adopted id.  One attempt only — the
+        adopted handle carries no request, so recovery cannot chain.
+        """
+        retry = self.client.submit(self._request)
+        self.job_id = retry.job_id
+        self._job_state = retry._job_state
+        self._request = None
+
+    def status(self) -> Dict[str, Any]:
+        """The job's current server-side state (raw ``/status`` payload).
+
+        A 404 for a job the server evicted (bounded retention under heavy
+        traffic) triggers one non-blocking re-submission — cached work answers
+        instantly — instead of crashing the polling loop.
+        """
+        if self._job_state is not None:
+            return dict(self._job_state)
+        try:
+            return self.client.status(self.job_id)
+        except ServiceError as error:
+            if error.status != 404 or self._request is None:
+                raise
+            self._recover_evicted()
+            return self.status()
+
+    def done(self) -> bool:
+        return self.status()["status"] in FINISHED_STATES
+
+    def job(self, timeout: float = DEFAULT_JOB_TIMEOUT) -> Dict[str, Any]:
+        """Block until finished; the raw job payload (report, compiles, …).
+
+        If the server evicted this finished job before we polled it (bounded
+        job retention under heavy traffic), the request is re-submitted once —
+        the report is in the server's cache, so the retry answers warm.
+        """
+        if self._job_state is not None:
+            return dict(self._job_state)
+        try:
+            job = self.client.wait(self.job_id, timeout=timeout)
+        except ServiceError as error:
+            if error.status != 404 or self._request is None:
+                raise
+            self._recover_evicted()
+            if self._job_state is not None:
+                return dict(self._job_state)
+            job = self.client.wait(self.job_id, timeout=timeout)
+        self._job_state = dict(job)
+        return job
+
+    def result(self, timeout: float = DEFAULT_JOB_TIMEOUT) -> TuningReport:
+        """Block until finished; the :class:`TuningReport` (raises on job error)."""
+        return _report_from_job(self.job(timeout=timeout))
+
+
+def _report_from_job(job: Mapping[str, Any]) -> TuningReport:
+    if job["status"] == "error":
+        raise ServiceError(f"tuning job {job['job']} failed: {job['error']}", payload=job)
+    return TuningReport.from_dict(job["report"], from_cache=bool(job["from_cache"]))
+
+
+class TuningClient:
+    """Talks JSON over HTTP to a :class:`repro.service.server.TuningServer`."""
+
+    def __init__(self, url: str, timeout: float = DEFAULT_HTTP_TIMEOUT) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------------------
+    def _call(
+        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            self.url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", errors="replace")
+            try:
+                parsed = json.loads(body)
+                message = parsed.get("error", body)
+            except json.JSONDecodeError:
+                parsed, message = {}, body
+            raise ServiceError(
+                f"{method} {path} failed ({error.code}): {message}",
+                status=error.code,
+                payload=parsed,
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach tuning server at {self.url}: {error.reason}"
+            ) from None
+
+    # -- endpoints ---------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._call("GET", "/healthz")
+
+    def cache_stats(self) -> Dict[str, Any]:
+        return self._call("GET", "/cache/stats")
+
+    def kernels(self) -> Dict[str, Any]:
+        return self._call("GET", "/kernels")
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/status/{job_id}")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to drain in-flight jobs and stop."""
+        return self._call("POST", "/shutdown")
+
+    # -- tuning ------------------------------------------------------------------------
+    def submit(self, request: Union[TuneRequest, Mapping[str, Any]]) -> PendingTuning:
+        """Fire one tuning request; returns immediately with a handle."""
+        payload = request.to_dict() if isinstance(request, TuneRequest) else dict(request)
+        response = self._call("POST", "/tune", payload)
+        return PendingTuning(
+            self,
+            response["job"],
+            response["fingerprint"],
+            response["outcome"],
+            job_state=response.get("job_state"),
+            request=payload,
+        )
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = DEFAULT_JOB_TIMEOUT,
+        poll_interval: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job finishes; the raw job payload."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["status"] in FINISHED_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} did not finish within {timeout:.0f}s "
+                    f"(last status: {job['status']})"
+                )
+            time.sleep(poll_interval)
+
+    def tune(
+        self,
+        request: Union[TuneRequest, Mapping[str, Any]],
+        timeout: float = DEFAULT_JOB_TIMEOUT,
+    ) -> TuningReport:
+        """Blocking submit-and-wait; the finished :class:`TuningReport`."""
+        return self.submit(request).result(timeout=timeout)

@@ -1,0 +1,239 @@
+"""Wire protocol of the tuning service.
+
+A :class:`TuneRequest` is the JSON body of ``POST /tune``: a *named* kernel
+(resolved through :mod:`repro.kernels.registry` — programs never travel over
+the wire), its problem sizes, and the tuning knobs of
+:func:`repro.autotune.autotune`.  :meth:`TuneRequest.resolve` materialises the
+program, options and configuration space and computes the request's cache
+fingerprint — the same key :func:`~repro.autotune.session.autotune` stores
+reports under, so the server can deduplicate in-flight requests and probe the
+shared cache without starting a tuning run.
+
+:class:`JobRecord` is the server-side state of one accepted request, returned
+by ``GET /status/<job>``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.options import MappingOptions
+from repro.ir.program import Program
+from repro.kernels.registry import TunableKernel, get_kernel
+from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
+from repro.autotune.search import STRATEGIES
+from repro.autotune.session import tuning_fingerprint
+from repro.autotune.space import SpaceOptions
+
+#: keys accepted in a request's ``space`` payload
+_SPACE_KEYS = (
+    "thread_counts",
+    "block_counts",
+    "scratchpad_choices",
+    "tile_candidates_per_geometry",
+)
+
+#: terminal job states
+FINISHED_STATES = ("done", "error")
+
+
+@dataclass
+class TuneRequest:
+    """One tuning request as it travels over the wire."""
+
+    kernel: str
+    sizes: Dict[str, int] = field(default_factory=dict)
+    strategy: str = "pruned"
+    seed: int = 0
+    #: parallel-evaluation fan-out *inside* the worker executing this job
+    eval_workers: int = 1
+    check_correctness: bool = False
+    #: optional :meth:`MappingOptions.to_dict` payload
+    options: Optional[Dict[str, Any]] = None
+    #: optional subset of :class:`SpaceOptions` fields
+    space: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kernel, str) or not self.kernel:
+            raise ValueError(f"kernel must be a non-empty string, got {self.kernel!r}")
+        if not isinstance(self.sizes, Mapping):
+            raise ValueError(f"sizes must be a mapping, got {self.sizes!r}")
+        for name, value in self.sizes.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(
+                    f"size {name!r} must be an integer, got {value!r}"
+                )
+        self.sizes = {str(k): int(v) for k, v in self.sizes.items()}
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; available: {sorted(STRATEGIES)}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        if not isinstance(self.check_correctness, bool):
+            # a truthy string like "false" must not silently enable checking
+            # (and leak into the fingerprint, splitting the cache)
+            raise ValueError(
+                f"check_correctness must be a boolean, got {self.check_correctness!r}"
+            )
+        if not isinstance(self.eval_workers, int) or self.eval_workers < 1:
+            raise ValueError(f"eval_workers must be a positive integer, got {self.eval_workers!r}")
+        if self.space is not None:
+            unknown = set(self.space) - set(_SPACE_KEYS)
+            if unknown:
+                raise ValueError(
+                    f"unknown space fields {sorted(unknown)}; available: {list(_SPACE_KEYS)}"
+                )
+            for key in ("thread_counts", "block_counts"):
+                values = self.space.get(key)
+                if values is None:
+                    continue
+                # a JSON string would otherwise iterate character-by-character
+                if not isinstance(values, (list, tuple)) or not all(
+                    isinstance(v, int) and not isinstance(v, bool) for v in values
+                ):
+                    raise ValueError(f"space.{key} must be a list of integers, got {values!r}")
+            choices = self.space.get("scratchpad_choices")
+            if choices is not None and (
+                not isinstance(choices, (list, tuple))
+                or not all(isinstance(v, bool) for v in choices)
+            ):
+                raise ValueError(
+                    f"space.scratchpad_choices must be a list of booleans, got {choices!r}"
+                )
+            limit = self.space.get("tile_candidates_per_geometry")
+            if limit is not None and (not isinstance(limit, int) or isinstance(limit, bool)):
+                raise ValueError(
+                    f"space.tile_candidates_per_geometry must be an integer, got {limit!r}"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "sizes": dict(self.sizes),
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "eval_workers": self.eval_workers,
+            "check_correctness": self.check_correctness,
+            "options": dict(self.options) if self.options else None,
+            "space": dict(self.space) if self.space else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TuneRequest":
+        known = {f.name for f in fields(cls)}
+        extra = set(payload) - known
+        if extra:
+            raise ValueError(f"unknown TuneRequest fields: {sorted(extra)}")
+        if "kernel" not in payload:
+            raise ValueError("a TuneRequest needs at least a 'kernel' name")
+        return cls(**{k: v for k, v in payload.items() if v is not None})
+
+    # -- server-side materialisation ---------------------------------------------------
+    def space_options(self) -> SpaceOptions:
+        """The request's :class:`SpaceOptions` (tuple-coerced from JSON lists)."""
+        payload = dict(self.space or {})
+        for key in ("thread_counts", "block_counts"):
+            if key in payload:
+                payload[key] = tuple(int(v) for v in payload[key])
+        if "scratchpad_choices" in payload:
+            payload["scratchpad_choices"] = tuple(
+                bool(v) for v in payload["scratchpad_choices"]
+            )
+        return SpaceOptions(**payload)
+
+    def mapping_options(self) -> MappingOptions:
+        return MappingOptions.from_dict(self.options) if self.options else MappingOptions()
+
+    def resolve(self, spec: GPUSpec = GEFORCE_8800_GTX) -> "ResolvedRequest":
+        """Build the program and compute the request's cache fingerprint.
+
+        Cheap — band analysis and loop extents only, never a pipeline
+        compile — so the server can fingerprint every incoming request
+        synchronously.  Raises ``ValueError`` for unknown kernels, sizes,
+        options or space fields.
+        """
+        try:
+            kernel = get_kernel(self.kernel)
+        except KeyError as error:
+            raise ValueError(error.args[0]) from None
+        program = kernel.build(**self.sizes)
+        options = self.mapping_options()
+        space_options = self.space_options()
+        check_program = kernel.build_check() if self.check_correctness else None
+        key = tuning_fingerprint(
+            program,
+            spec=spec,
+            options=options,
+            strategy=self.strategy,
+            seed=self.seed,
+            space_options=space_options,
+            check_correctness=self.check_correctness,
+            check_program=check_program,
+        )
+        return ResolvedRequest(
+            request=self,
+            kernel=kernel,
+            program=program,
+            options=options,
+            space_options=space_options,
+            check_program=check_program,
+            spec=spec,
+            fingerprint=key,
+        )
+
+
+@dataclass
+class ResolvedRequest:
+    """A :class:`TuneRequest` materialised against the kernel registry."""
+
+    request: TuneRequest
+    kernel: TunableKernel
+    program: Program
+    options: MappingOptions
+    space_options: SpaceOptions
+    check_program: Optional[Program]
+    spec: GPUSpec
+    fingerprint: str
+
+
+@dataclass
+class JobRecord:
+    """Server-side state of one accepted tuning request."""
+
+    id: str
+    fingerprint: str
+    request: Dict[str, Any]
+    status: str = "queued"  # queued | running | done | error
+    #: how many /tune submissions this job serves (1 + in-flight duplicates)
+    waiters: int = 1
+    from_cache: bool = False
+    #: pipeline compiles performed by the worker that ran this job
+    compiles: Optional[int] = None
+    report: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    created_at: float = field(default_factory=time.time)
+    finished_at: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status in FINISHED_STATES
+
+    def to_dict(self, include_report: bool = True) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "job": self.id,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "waiters": self.waiters,
+            "from_cache": self.from_cache,
+            "compiles": self.compiles,
+            "error": self.error,
+            "created_at": self.created_at,
+            "finished_at": self.finished_at,
+            "request": dict(self.request),
+        }
+        if include_report:
+            payload["report"] = self.report
+        return payload

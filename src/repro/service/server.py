@@ -1,0 +1,451 @@
+"""The long-lived tuning server: work queue, dedup, shared cache, HTTP API.
+
+Two layers:
+
+* :class:`TuningService` — the transport-agnostic engine.  Incoming requests
+  are fingerprinted synchronously; a warm cache entry answers instantly with
+  zero compiles, an identical *in-flight* request attaches to the existing
+  job (N concurrent submitters, exactly one tuning run), and everything else
+  is queued onto a ``ProcessPoolExecutor`` (or thread pool) worker.
+* :class:`TuningServer` — a stdlib ``ThreadingHTTPServer`` exposing the
+  engine as JSON over HTTP: ``POST /tune``, ``GET /status/<job>``,
+  ``GET /cache/stats``, ``GET /healthz``, ``GET /kernels``,
+  ``POST /shutdown``.
+
+Shutdown is graceful: :meth:`TuningService.drain` rejects new submissions
+(503) while every accepted job runs to completion — and, with a file-backed
+cache, persists — before the pool stops.  The ``serve`` CLI wires SIGTERM to
+exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+import time
+import uuid
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import wait as wait_futures
+from functools import partial
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from urllib.parse import urlparse
+
+from repro.kernels.registry import available_kernels, get_kernel
+from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
+from repro.autotune.cache import TuningCache
+from repro.autotune.search import EXECUTORS
+from repro.service.protocol import JobRecord, TuneRequest
+from repro.service.worker import execute_request
+
+
+class ServiceUnavailable(RuntimeError):
+    """Raised for submissions that arrive while the server is draining."""
+
+
+class TuningService:
+    """Transport-agnostic tuning engine: dedup, shared cache, worker pool.
+
+    ``executor="process"`` uses spawn-started workers (fork from a process
+    already running HTTP handler threads can clone a mid-acquire lock and
+    deadlock the child), which carries the standard multiprocessing caveat:
+    the embedding program's main module must be importable — true for
+    ``python -m repro.service``, pytest, and any real script file with an
+    ``if __name__ == "__main__"`` guard, but not for a bare REPL/stdin
+    script, where ``executor="thread"`` should be used instead.
+    """
+
+    def __init__(
+        self,
+        cache: Union[TuningCache, str, Path, None] = None,
+        executor: str = "process",
+        max_workers: int = 2,
+        spec: GPUSpec = GEFORCE_8800_GTX,
+        max_finished_jobs: int = 1024,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers!r}")
+        if max_finished_jobs < 1:
+            raise ValueError(f"max_finished_jobs must be positive, got {max_finished_jobs!r}")
+        self.cache = cache if isinstance(cache, TuningCache) else TuningCache(cache)
+        self.executor = executor
+        self.max_workers = max_workers
+        self.spec = spec
+        #: finished job records kept for /status before the oldest are evicted
+        self.max_finished_jobs = max_finished_jobs
+        if executor == "process":
+            # Workers spawn lazily, at the first submit — i.e. from a process
+            # whose HTTP handler threads are already running.  fork() from a
+            # multi-threaded process can clone a mid-acquire lock into the
+            # child and deadlock it, so use the spawn start method.
+            self._pool: Any = ProcessPoolExecutor(
+                max_workers=max_workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        else:
+            self._pool = ThreadPoolExecutor(max_workers=max_workers)
+        # Reentrant: a future that completes before submit() releases the lock
+        # runs its done-callback (_finish) synchronously on this thread.
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, JobRecord] = {}
+        self._futures: Dict[str, Future] = {}
+        #: fingerprint → job id of the one in-flight job covering it
+        self._inflight: Dict[str, str] = {}
+        self._draining = False
+        self.counters = {
+            "submitted": 0,
+            "deduplicated": 0,
+            "cache_hits": 0,
+            "tuning_runs": 0,
+            "failed": 0,
+        }
+
+    # -- submission --------------------------------------------------------------------
+    def submit(self, payload: Mapping[str, Any]) -> Tuple[JobRecord, str]:
+        """Accept one request; returns ``(job, outcome)``.
+
+        ``outcome`` is ``"created"`` (a new tuning run was queued),
+        ``"deduplicated"`` (attached to an identical in-flight job — no new
+        work), ``"cached"`` (answered from the warm cache with zero
+        compiles), or ``"error"`` (the worker pool refused the job — e.g. a
+        broken process pool).  Raises ``ValueError`` for malformed requests
+        and :class:`ServiceUnavailable` while draining.
+        """
+        request = TuneRequest.from_dict(dict(payload))
+        resolved = request.resolve(self.spec)  # fingerprint only — no compile
+        key = resolved.fingerprint
+        with self._lock:
+            if self._draining:
+                raise ServiceUnavailable("server is draining; not accepting new requests")
+            self.counters["submitted"] += 1
+
+            inflight_id = self._inflight.get(key)
+            if inflight_id is not None:
+                job = self._jobs[inflight_id]
+                job.waiters += 1
+                self.counters["deduplicated"] += 1
+                return job, "deduplicated"
+
+            stored = self.cache.get(key)
+            if stored is not None:
+                self.counters["cache_hits"] += 1
+                job = JobRecord(
+                    id=self._new_job_id(),
+                    fingerprint=key,
+                    request=request.to_dict(),
+                    status="done",
+                    from_cache=True,
+                    compiles=0,
+                    report=dict(stored),
+                    finished_at=time.time(),
+                )
+                self._jobs[job.id] = job
+                self._evict_finished_locked()
+                return job, "cached"
+
+            job = JobRecord(id=self._new_job_id(), fingerprint=key, request=request.to_dict())
+            self._jobs[job.id] = job
+            self._inflight[key] = job.id
+            # Workers (thread or process) open their own cache instance from
+            # the backing file: a fresh load can pick up entries a *different*
+            # server sharing the file persisted since our pre-check, their
+            # counters stay off this instance's books (one counted lookup per
+            # request — the submit-time get above), and _finish absorbs the
+            # result back into memory either way.
+            cache_path = str(self.cache.path) if self.cache.path else None
+            task = partial(
+                execute_request, job.request, cache_path=cache_path, spec=self.spec
+            )
+            try:
+                future = self._pool.submit(task)
+            except Exception as error:  # e.g. BrokenProcessPool after a worker died
+                # Roll back the in-flight registration: the fingerprint must
+                # not stay wedged on a job that will never get a future.
+                self._inflight.pop(key, None)
+                job.error = f"{type(error).__name__}: {error}"
+                job.status = "error"
+                job.finished_at = time.time()
+                self.counters["failed"] += 1
+                self._evict_finished_locked()
+                return job, "error"
+            self._futures[job.id] = future
+            future.add_done_callback(partial(self._finish, job.id))
+            return job, "created"
+
+    def _new_job_id(self) -> str:
+        return uuid.uuid4().hex[:12]
+
+    def _evict_finished_locked(self) -> None:
+        """Bound memory on a long-lived server: drop the oldest finished jobs.
+
+        Caller holds the lock.  In-flight jobs are never evicted; dict order
+        is insertion order, so the survivors are the newest records.
+        """
+        finished = [job_id for job_id, job in self._jobs.items() if job.finished]
+        excess = len(finished) - self.max_finished_jobs
+        for job_id in finished[:max(excess, 0)]:
+            del self._jobs[job_id]
+
+    def _finish(self, job_id: str, future: Future) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            self._inflight.pop(job.fingerprint, None)
+            self._futures.pop(job_id, None)
+            job.finished_at = time.time()
+            try:
+                outcome = future.result()
+            except (Exception, CancelledError) as error:
+                # worker died, unpicklable state, or drained with a hard timeout
+                job.error = f"{type(error).__name__}: {error}"
+                job.status = "error"
+                self.counters["failed"] += 1
+                self._evict_finished_locked()
+                return
+            # Populate the result fields before flipping status: "done" is the
+            # publication point status readers key off.
+            job.report = outcome["report"]
+            job.compiles = outcome["compiles"]
+            job.from_cache = outcome["from_cache"]
+            job.status = "done"
+            if outcome["from_cache"]:
+                self.counters["cache_hits"] += 1
+            else:
+                self.counters["tuning_runs"] += 1
+            # A process worker persisted through its own TuningCache instance;
+            # absorb keeps this instance's warm-hit path and stats() current
+            # without a redundant read-merge-write.
+            self.cache.absorb(job.fingerprint, outcome["report"])
+            self._evict_finished_locked()
+
+    # -- inspection --------------------------------------------------------------------
+    def job(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None and not job.finished:
+                future = self._futures.get(job_id)
+                job.status = "running" if future is not None and future.running() else "queued"
+            return job
+
+    def job_payload(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """A consistent ``/status`` snapshot, built while holding the lock.
+
+        Handler threads must not serialise a live :class:`JobRecord` outside
+        the lock — a job finishing concurrently could be observed half-updated.
+        """
+        with self._lock:
+            job = self.job(job_id)
+            return None if job is None else job.to_dict()
+
+    def job_counts(self) -> Dict[str, int]:
+        counts = {"queued": 0, "running": 0, "done": 0, "error": 0}
+        with self._lock:
+            running = {
+                job_id for job_id, future in self._futures.items() if future.running()
+            }
+            for job in self._jobs.values():
+                if job.finished:
+                    counts[job.status] += 1
+                elif job.id in running:
+                    counts["running"] += 1
+                else:
+                    counts["queued"] += 1
+        return counts
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            counters = dict(self.counters)
+        return {"cache": self.cache.stats(), "server": counters, "jobs": self.job_counts()}
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "executor": self.executor,
+            "workers": self.max_workers,
+            "cache_path": str(self.cache.path) if self.cache.path else None,
+            "jobs": self.job_counts(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting work and wait until every accepted job finished.
+
+        Queued-but-unstarted jobs still run: the pool keeps consuming its
+        queue until :meth:`Executor.shutdown` completes, so every job a client
+        was promised a report for produces one (and, with a file-backed cache,
+        persists it) before this method returns.  With a ``timeout``, jobs
+        still unfinished when it expires are cancelled (their records flip to
+        ``error``) so shutdown time stays bounded; already-running work on a
+        process pool finishes its current task regardless.
+        """
+        with self._lock:
+            self._draining = True
+            pending = list(self._futures.values())
+        unfinished = wait_futures(pending, timeout=timeout).not_done if pending else set()
+        if unfinished:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            self._pool.shutdown(wait=True)
+
+
+class TuningRequestHandler(BaseHTTPRequestHandler):
+    """Routes the JSON-over-HTTP API onto a :class:`TuningService`."""
+
+    server_version = "repro-tuning-server/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> TuningService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send_json(self, code: int, payload: Mapping[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _drain_body(self) -> bytes:
+        """Read the request body unconditionally.
+
+        Under HTTP/1.1 keep-alive an unread body would be parsed as the next
+        request line on the same connection, so every POST path must drain it
+        — including 404s and /shutdown, which ignore the content.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlparse(self.path).path
+        if path == "/healthz":
+            self._send_json(200, self.service.health())
+        elif path == "/cache/stats":
+            self._send_json(200, self.service.stats())
+        elif path == "/kernels":
+            kernels = [get_kernel(name).describe() for name in available_kernels()]
+            self._send_json(200, {"kernels": kernels})
+        elif path.startswith("/status/"):
+            payload = self.service.job_payload(path[len("/status/"):])
+            if payload is None:
+                self._send_json(404, {"error": "unknown job"})
+            else:
+                self._send_json(200, payload)
+        else:
+            self._send_json(404, {"error": f"unknown endpoint {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlparse(self.path).path
+        raw = self._drain_body()
+        if path == "/tune":
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (ValueError, UnicodeDecodeError) as error:
+                self._send_json(400, {"error": f"invalid JSON body: {error}"})
+                return
+            if not isinstance(payload, dict):
+                self._send_json(400, {"error": "request body must be a JSON object"})
+                return
+            try:
+                job, outcome = self.service.submit(payload)
+            except ServiceUnavailable as error:
+                self._send_json(503, {"error": str(error)})
+                return
+            except (ValueError, TypeError) as error:
+                self._send_json(400, {"error": str(error)})
+                return
+            response = {
+                "job": job.id,
+                "fingerprint": job.fingerprint,
+                "status": job.status,
+                "outcome": outcome,
+            }
+            # A job finished at submission (warm hit) carries its full state
+            # inline, so the client needs no /status round trip — and cannot
+            # lose the answer to finished-job eviction in between.
+            if job.finished:
+                response["job_state"] = self.service.job_payload(job.id)
+            self._send_json(200, response)
+        elif path == "/shutdown":
+            # Only loopback peers may stop the server: anyone who can reach a
+            # --host 0.0.0.0 deployment must not be able to deny service.
+            if self.client_address[0] not in ("127.0.0.1", "::1"):
+                self._send_json(403, {"error": "shutdown is restricted to loopback clients"})
+                return
+            self._send_json(200, {"status": "draining"})
+            threading.Thread(
+                target=self.server.tuning_server.stop,  # type: ignore[attr-defined]
+                daemon=True,
+            ).start()
+        else:
+            self._send_json(404, {"error": f"unknown endpoint {path!r}"})
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # keep the server quiet; the CLI prints lifecycle events
+
+
+class TuningServer:
+    """A :class:`TuningService` bound to an HTTP address.
+
+    ``port=0`` binds an ephemeral port; the actual address is available as
+    :attr:`url` immediately after construction.  Use :meth:`serve_forever` in
+    the foreground (the CLI) or :meth:`start` for a background thread (tests,
+    examples), and :meth:`stop` for a graceful drain-then-shutdown.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8037,
+        cache: Union[TuningCache, str, Path, None] = None,
+        executor: str = "process",
+        max_workers: int = 2,
+        spec: GPUSpec = GEFORCE_8800_GTX,
+    ) -> None:
+        self.service = TuningService(
+            cache=cache, executor=executor, max_workers=max_workers, spec=spec
+        )
+        self._httpd = ThreadingHTTPServer((host, port), TuningRequestHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self.service  # type: ignore[attr-defined]
+        self._httpd.tuning_server = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def start(self) -> "TuningServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, drain_timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: drain every accepted job, then stop serving."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self.service.drain(timeout=drain_timeout)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)

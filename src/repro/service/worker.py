@@ -1,0 +1,64 @@
+"""The function a tuning-server worker executes, usable from any executor.
+
+Module-level and fully picklable, so the server can submit it to a
+``ProcessPoolExecutor`` (cold tuning escapes the GIL) or a thread pool (used
+by in-process tests, where the shared :data:`COMPILE_COUNTER` stays
+observable).  A worker process reopens the shared cache file by path; the
+cache's file lock makes its read-merge-write persistence safe against the
+other workers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.pipeline import counting_compiles
+from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
+from repro.autotune.cache import TuningCache
+from repro.autotune.session import autotune
+from repro.service.protocol import TuneRequest
+
+
+def execute_request(
+    payload: Mapping[str, Any],
+    cache_path: Optional[str] = None,
+    spec: Optional[GPUSpec] = None,
+) -> Dict[str, Any]:
+    """Run one tuning request to completion; returns the job-completion payload.
+
+    Workers (thread *and* process) reopen the shared cache from
+    ``cache_path``, picking up entries other servers persisted since the
+    pre-enqueue check; server-side warm hits never reach a worker at all.
+    The returned ``compiles`` counts the pipeline compiles this request
+    performed in the executing process: exactly 0 for a warm cache hit, and
+    — because the underlying counter is process-global — an upper bound when
+    several *thread* workers tune concurrently in one process (process
+    workers are exact, having the process to themselves).
+    """
+    request = TuneRequest.from_dict(payload)
+    # Resolve against the server's machine spec (GPUSpec is a frozen dataclass
+    # and pickles to process workers) so the report and its fingerprint match
+    # the key the server deduplicated and will absorb under.
+    resolved = request.resolve(spec or GEFORCE_8800_GTX)
+    cache = TuningCache(cache_path) if cache_path is not None else None
+    with counting_compiles() as compiles:
+        report = autotune(
+            resolved.program,
+            spec=resolved.spec,
+            options=resolved.options,
+            strategy=request.strategy,
+            max_workers=request.eval_workers,
+            cache=cache,
+            seed=request.seed,
+            space_options=resolved.space_options,
+            check_correctness=request.check_correctness,
+            check_program=resolved.check_program,
+        )
+    return {
+        "fingerprint": report.fingerprint,
+        "report": report.to_dict(),
+        "from_cache": report.from_cache,
+        # a warm hit is zero compiles by construction, whatever concurrent
+        # jobs in this process added to the global counter meanwhile
+        "compiles": 0 if report.from_cache else compiles.count,
+    }

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import warnings
 
 import numpy as np
 import pytest
@@ -174,6 +175,27 @@ class TestAutotuneSession:
         parallel = autotune(matmul, space_options=GRID_SPACE, max_workers=4)
         assert parallel.to_dict() == serial.to_dict()
 
+    def test_process_pool_report_identical_to_serial(self, matmul):
+        serial = autotune(matmul, space_options=SMALL_SPACE, max_workers=1)
+        processes = autotune(
+            matmul, space_options=SMALL_SPACE, max_workers=2, executor="process"
+        )
+        assert processes.to_dict() == serial.to_dict()
+
+    def test_unpicklable_evaluator_falls_back_to_threads(self, matmul):
+        from repro.autotune import make_batch_evaluator
+        from repro.autotune.space import ConfigurationSpace
+
+        evaluator = ConfigurationEvaluator(matmul)
+        evaluator.poison = lambda: None  # lambdas cannot pickle
+        with pytest.warns(RuntimeWarning, match="falling back to threads"):
+            batch = make_batch_evaluator(evaluator, max_workers=2, executor="process")
+        assert batch.executor == "thread"
+        space = ConfigurationSpace(matmul, space_options=SMALL_SPACE)
+        with batch:
+            results = batch([space.seed_configuration()])
+        assert len(results) == 1 and results[0].feasible
+
     def test_hillclimb_is_seeded_and_parallel_safe(self, matmul):
         strategy = RandomHillClimbSearch(seed=11, restarts=1, max_steps=1)
         one = autotune(matmul, space_options=SMALL_SPACE, strategy=strategy, max_workers=1)
@@ -216,6 +238,8 @@ class TestAutotuneSession:
     def test_invalid_inputs_rejected(self, matmul):
         with pytest.raises(ValueError):
             autotune(matmul, max_workers=0)
+        with pytest.raises(ValueError, match="executor"):
+            autotune(matmul, executor="mpi")
         with pytest.raises(ValueError):
             resolve_strategy("simulated-annealing")
         with pytest.raises(TypeError):
@@ -279,6 +303,70 @@ class TestTuningCache:
         cache.clear()
         assert len(cache) == 0
 
+    def test_stats_reports_entries_bytes_and_counters(self, tmp_path):
+        cache = TuningCache(tmp_path / "cache.json")
+        assert cache.stats() == {"entries": 0, "bytes": 0, "hits": 0, "misses": 0}
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] == (tmp_path / "cache.json").stat().st_size
+        assert stats["bytes"] > 0
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_prune_keeps_the_newest_entries(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = TuningCache(path)
+        for i in range(5):
+            cache.put(f"k{i}", {"v": i})
+        assert cache.prune(2) == 3
+        assert cache.prune(2) == 0  # already within bounds
+        # pruned entries stay gone on reload: the save skipped the read-merge
+        reloaded = TuningCache(path)
+        assert len(reloaded) == 2
+        assert reloaded.get("k3") == {"v": 3} and reloaded.get("k4") == {"v": 4}
+        with pytest.raises(ValueError):
+            cache.prune(-1)
+
+    def test_prune_order_survives_the_file_round_trip(self, tmp_path):
+        # keys deliberately in anti-alphabetical insertion order: "oldest"
+        # must mean insertion order even after a save/load cycle
+        path = tmp_path / "cache.json"
+        cache = TuningCache(path)
+        cache.put("zz-oldest", {"v": 0})
+        cache.put("aa-newest", {"v": 1})
+        reloaded = TuningCache(path)
+        assert reloaded.prune(1) == 1
+        assert reloaded.peek("aa-newest") == {"v": 1}
+        assert reloaded.peek("zz-oldest") is None
+
+    def test_peek_does_not_touch_counters(self):
+        cache = TuningCache()
+        cache.put("k", {"v": 1})
+        assert cache.peek("k") == {"v": 1}
+        assert cache.peek("missing") is None
+        assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 0
+
+    def test_absorb_stores_in_memory_without_persisting(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = TuningCache(path)
+        cache.absorb("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert not path.exists()
+
+    def test_missing_fcntl_warns_once_per_process(self, tmp_path, monkeypatch):
+        from repro.autotune import cache as cache_module
+
+        monkeypatch.setattr(cache_module, "fcntl", None)
+        monkeypatch.setattr(cache_module, "_warned_unlocked", False)
+        cache = TuningCache(tmp_path / "cache.json")
+        with pytest.warns(RuntimeWarning, match="without inter-process file locking"):
+            cache.put("a", {"v": 1})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second write must stay silent
+            cache.put("b", {"v": 2})
+
 
 # -- options / pipeline satellites -------------------------------------------------
 class TestOptionValidation:
@@ -331,3 +419,23 @@ class TestCli:
         warm_out = capsys.readouterr().out
         assert "pipeline compiles this call: 0" in warm_out
         assert "[cache]" in warm_out
+
+    def test_cache_stats_subcommand(self, tmp_path, capsys):
+        path = str(tmp_path / "cache.json")
+        cache = TuningCache(path)
+        for i in range(3):
+            cache.put(f"k{i}", {"v": i})
+        assert cli_main(["cache-stats", "--cache", path]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 3" in out
+        assert "bytes: " in out
+
+    def test_cache_prune_subcommand(self, tmp_path, capsys):
+        path = str(tmp_path / "cache.json")
+        cache = TuningCache(path)
+        for i in range(5):
+            cache.put(f"k{i}", {"v": i})
+        assert cli_main(["cache-prune", "--cache", path, "--max-entries", "2"]) == 0
+        assert "pruned 3 entries; 2 remain" in capsys.readouterr().out
+        assert len(TuningCache(path)) == 2
+        assert cli_main(["cache-prune", "--cache", path, "--max-entries", "-1"]) == 2

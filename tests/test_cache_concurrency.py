@@ -1,0 +1,88 @@
+"""Concurrent multi-process access to one shared ``TuningCache`` file.
+
+The helpers are module-level so they pickle for ``multiprocessing``; the fork
+start method is used explicitly (the cache's advisory locking is
+POSIX/``fcntl``-based, mirroring the platform the service targets).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+
+import pytest
+
+from repro.autotune import TuningCache
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="fork start method and fcntl are POSIX-only"
+)
+
+SMALL_SPACE = {"thread_counts": [64], "block_counts": [16], "tile_candidates_per_geometry": 2}
+
+
+def _put_entry(path: str, index: int, barrier) -> None:
+    cache = TuningCache(path)
+    barrier.wait(timeout=30)  # maximise write overlap across all processes
+    cache.put(f"key-{index}", {"value": index})
+
+
+def _tune_against_cache(path: str, queue) -> None:
+    from repro.core.pipeline import counting_compiles
+    from repro.service import TuneRequest
+    from repro.autotune import autotune
+
+    request = TuneRequest(kernel="matmul", sizes={"m": 24, "n": 24, "k": 24}, space=SMALL_SPACE)
+    resolved = request.resolve()
+    with counting_compiles() as compiles:
+        report = autotune(
+            resolved.program,
+            options=resolved.options,
+            space_options=resolved.space_options,
+            cache=TuningCache(path),
+        )
+    queue.put({"compiles": compiles.count, "report": report.to_dict()})
+
+
+def test_concurrent_writers_lose_no_entries(tmp_path):
+    """8 processes write 8 distinct keys through one file simultaneously.
+
+    Every writer read-merge-writes under the exclusive ``fcntl`` lock, so no
+    last-writer-wins clobbering may drop an entry.
+    """
+    ctx = multiprocessing.get_context("fork")
+    path = str(tmp_path / "cache.json")
+    barrier = ctx.Barrier(8)
+    procs = [ctx.Process(target=_put_entry, args=(path, i, barrier)) for i in range(8)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    merged = TuningCache(path)
+    assert len(merged) == 8
+    for i in range(8):
+        assert merged.get(f"key-{i}") == {"value": i}
+
+
+def test_second_process_tuning_same_fingerprint_is_free(tmp_path):
+    """Two processes, one fingerprint, one cache file: one compile run total.
+
+    The first process tunes cold and persists; the second answers entirely
+    from the shared file with zero pipeline compiles and a bit-identical
+    report.
+    """
+    ctx = multiprocessing.get_context("fork")
+    path = str(tmp_path / "cache.json")
+    queue = ctx.Queue()
+    outcomes = []
+    for _ in range(2):
+        proc = ctx.Process(target=_tune_against_cache, args=(path, queue))
+        proc.start()
+        proc.join(timeout=300)
+        assert proc.exitcode == 0
+        outcomes.append(queue.get(timeout=30))
+    first, second = outcomes
+    assert first["compiles"] > 0
+    assert second["compiles"] == 0
+    assert second["report"] == first["report"]

@@ -1,0 +1,390 @@
+"""Tests of the ``repro.service`` tuning server.
+
+Integration coverage runs a real HTTP server.  The in-process suites use the
+*thread* executor so every pipeline compile lands on the process-global
+:data:`COMPILE_COUNTER` — the acceptance check that N concurrent identical
+requests cost exactly one tuning run's compiles.  The process-pool suite and
+the SIGTERM test exercise the multi-process deployment shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import COMPILE_COUNTER
+from repro.autotune import TuningCache, autotune
+from repro.service import (
+    PendingTuning,
+    ServiceError,
+    ServiceUnavailable,
+    TuneRequest,
+    TuningClient,
+    TuningServer,
+    TuningService,
+    execute_request,
+)
+
+SMALL_SPACE = {"thread_counts": [64], "block_counts": [16], "tile_candidates_per_geometry": 2}
+WIDE_SPACE = {
+    "thread_counts": [64, 128],
+    "block_counts": [16, 32],
+    "tile_candidates_per_geometry": 2,
+}
+
+
+def matmul_request(m: int = 32, **overrides) -> TuneRequest:
+    payload = {"kernel": "matmul", "sizes": {"m": m, "n": m, "k": m}, "space": SMALL_SPACE}
+    payload.update(overrides)
+    return TuneRequest(**payload)
+
+
+@pytest.fixture
+def thread_server():
+    server = TuningServer(port=0, executor="thread", max_workers=4).start()
+    yield server
+    server.stop()
+
+
+# -- protocol ----------------------------------------------------------------------
+class TestTuneRequest:
+    def test_round_trips_through_dict(self):
+        request = matmul_request(seed=7, eval_workers=2, check_correctness=True)
+        assert TuneRequest.from_dict(request.to_dict()) == request
+
+    def test_rejects_malformed_requests(self):
+        with pytest.raises(ValueError, match="strategy"):
+            TuneRequest(kernel="matmul", strategy="simulated-annealing")
+        with pytest.raises(ValueError, match="space fields"):
+            TuneRequest(kernel="matmul", space={"warp_counts": [2]})
+        with pytest.raises(ValueError, match="eval_workers"):
+            TuneRequest(kernel="matmul", eval_workers=0)
+        with pytest.raises(ValueError, match="integer"):
+            TuneRequest(kernel="matmul", sizes={"m": 32.9})  # no silent truncation
+        with pytest.raises(ValueError, match="integer"):
+            TuneRequest(kernel="matmul", sizes={"m": True})
+        with pytest.raises(ValueError, match="list of integers"):
+            # a JSON string must not be iterated character-by-character
+            TuneRequest(kernel="matmul", space={"thread_counts": "64"})
+        with pytest.raises(ValueError, match="list of booleans"):
+            TuneRequest(kernel="matmul", space={"scratchpad_choices": "yes"})
+        with pytest.raises(ValueError, match="list of booleans"):
+            TuneRequest(kernel="matmul", space={"scratchpad_choices": ["true"]})
+        with pytest.raises(ValueError, match="tile_candidates_per_geometry"):
+            TuneRequest(kernel="matmul", space={"tile_candidates_per_geometry": "lots"})
+        with pytest.raises(ValueError, match="check_correctness"):
+            TuneRequest(kernel="matmul", check_correctness="false")
+        with pytest.raises(ValueError, match="unknown TuneRequest fields"):
+            TuneRequest.from_dict({"kernel": "matmul", "gpu": "H100"})
+        with pytest.raises(ValueError, match="kernel"):
+            TuneRequest.from_dict({"sizes": {"m": 8}})
+
+    def test_resolve_rejects_unknown_kernel_and_sizes(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            TuneRequest(kernel="no_such_kernel").resolve()
+        with pytest.raises(ValueError, match="size parameters"):
+            TuneRequest(kernel="matmul", sizes={"batch": 4}).resolve()
+
+    def test_fingerprint_matches_the_session_cache_key(self):
+        """The service's dedup key must be the exact key autotune caches under."""
+        request = matmul_request()
+        resolved = request.resolve()
+        report = autotune(resolved.program, space_options=resolved.space_options)
+        assert report.fingerprint == resolved.fingerprint
+
+
+# -- worker ------------------------------------------------------------------------
+class TestWorker:
+    def test_cold_run_reports_compiles(self):
+        outcome = execute_request(matmul_request(m=16).to_dict())
+        assert outcome["compiles"] > 0
+        assert not outcome["from_cache"]
+        assert outcome["report"]["best"]["feasible"]
+
+    def test_warm_run_from_shared_cache_file_is_free(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        payload = matmul_request(m=16).to_dict()
+        cold = execute_request(payload, cache_path=path)
+        warm = execute_request(payload, cache_path=path)
+        assert warm["from_cache"] and warm["compiles"] == 0
+        assert warm["report"] == cold["report"]
+
+
+# -- engine ------------------------------------------------------------------------
+class TestTuningService:
+    def test_draining_rejects_new_submissions(self):
+        service = TuningService(executor="thread", max_workers=1)
+        job, outcome = service.submit(matmul_request(m=16).to_dict())
+        service.drain()
+        assert service.job(job.id).status == "done"
+        with pytest.raises(ServiceUnavailable):
+            service.submit(matmul_request(m=24).to_dict())
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            TuningService(executor="mpi")
+        with pytest.raises(ValueError, match="max_workers"):
+            TuningService(executor="thread", max_workers=0)
+        with pytest.raises(ValueError, match="max_finished_jobs"):
+            TuningService(executor="thread", max_finished_jobs=0)
+
+    def test_broken_pool_fails_the_job_instead_of_wedging_the_fingerprint(self):
+        service = TuningService(executor="thread", max_workers=1)
+        service._pool.shutdown(wait=True)  # simulate a dead worker pool
+        payload = matmul_request(m=16).to_dict()
+        job, outcome = service.submit(payload)
+        assert outcome == "error" and job.status == "error"
+        assert "cannot schedule new futures" in job.error
+        # the fingerprint was rolled back: nothing is wedged in flight
+        assert job.fingerprint not in service._inflight
+
+    def test_server_spec_reaches_the_worker(self):
+        """The worker must tune for the service's machine, not the default."""
+        import dataclasses
+
+        from repro.machine import GEFORCE_8800_GTX
+
+        custom = dataclasses.replace(GEFORCE_8800_GTX, name="Custom GPU (modelled)")
+        service = TuningService(executor="thread", max_workers=1, spec=custom)
+        payload = matmul_request(m=16).to_dict()
+        job, outcome = service.submit(payload)
+        assert outcome == "created"
+        service.drain()
+        job = service.job(job.id)
+        assert job.status == "done"
+        assert job.report["spec_name"] == "Custom GPU (modelled)"
+        # the worker's fingerprint agrees with the server's dedup key
+        assert job.report["fingerprint"] == job.fingerprint
+
+    def test_finished_jobs_are_evicted_to_bound_memory(self):
+        service = TuningService(executor="thread", max_workers=1, max_finished_jobs=2)
+        payload = matmul_request(m=16).to_dict()
+        first, _ = service.submit(payload)
+        service.drain()  # first job done and its report cached
+        # reopen acceptance for the cached-path submissions below
+        service._draining = False
+        jobs = [service.submit(payload)[0] for _ in range(3)]
+        assert all(job.from_cache for job in jobs)
+        # only the newest max_finished_jobs records survive
+        assert service.job(first.id) is None
+        assert service.job(jobs[0].id) is None
+        assert service.job(jobs[-1].id) is not None
+
+
+# -- HTTP integration --------------------------------------------------------------
+class TestHTTPServer:
+    def test_healthz_and_kernels(self, thread_server):
+        client = TuningClient(thread_server.url)
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["executor"] == "thread"
+        names = [k["name"] for k in client.kernels()["kernels"]]
+        assert "matmul" in names and "jacobi1d" in names
+
+    def test_unknown_endpoint_and_job_are_404(self, thread_server):
+        client = TuningClient(thread_server.url)
+        with pytest.raises(ServiceError) as error:
+            client.status("not-a-job")
+        assert error.value.status == 404
+        with pytest.raises(ServiceError) as error:
+            client._call("GET", "/nope")
+        assert error.value.status == 404
+
+    def test_malformed_tune_requests_are_400(self, thread_server):
+        client = TuningClient(thread_server.url)
+        with pytest.raises(ServiceError) as error:
+            client.submit({"kernel": "no_such_kernel"})
+        assert error.value.status == 400
+        with pytest.raises(ServiceError) as error:
+            client.submit({"kernel": "matmul", "strategy": "annealing"})
+        assert error.value.status == 400
+
+    def test_served_report_matches_direct_autotune(self, thread_server):
+        request = matmul_request()
+        client = TuningClient(thread_server.url)
+        served = client.tune(request, timeout=300)
+        resolved = request.resolve()
+        direct = autotune(resolved.program, space_options=resolved.space_options)
+        assert served.to_dict() == direct.to_dict()
+
+    def test_eight_concurrent_identical_requests_cost_one_tuning_run(self, thread_server):
+        """The acceptance criterion: N identical in-flight requests, one compile run."""
+        request = matmul_request(m=48)
+        expected_compiles = execute_request(request.to_dict())["compiles"]
+        assert expected_compiles > 0
+
+        client = TuningClient(thread_server.url)
+        start = COMPILE_COUNTER.count
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            handles = list(pool.map(lambda _: client.submit(request), range(8)))
+        reports = [handle.result(timeout=300) for handle in handles]
+
+        # exactly one tuning run's worth of pipeline compiles, not eight
+        assert COMPILE_COUNTER.count - start == expected_compiles
+        assert all(r.to_dict() == reports[0].to_dict() for r in reports)
+        stats = client.cache_stats()["server"]
+        assert stats["submitted"] == 8
+        assert stats["tuning_runs"] == 1
+        # every other submission attached in flight or hit the warm cache
+        assert stats["deduplicated"] + stats["cache_hits"] == 7
+
+    def test_repeated_request_is_served_from_cache_with_zero_compiles(self, thread_server):
+        client = TuningClient(thread_server.url)
+        request = matmul_request(m=24)
+        first = client.submit(request)
+        first.result(timeout=300)
+        start = COMPILE_COUNTER.count
+        second = client.submit(request)
+        # a warm hit carries its full state inline: no /status round trip,
+        # and eviction between submit and poll cannot lose the answer
+        assert second._job_state is not None
+        job = second.job(timeout=60)
+        assert second.cached
+        assert job["from_cache"] and job["compiles"] == 0
+        assert COMPILE_COUNTER.count == start
+        assert job["report"] == first.job()["report"]
+
+    def test_evicted_job_is_recovered_by_cached_resubmission(self, thread_server):
+        """A finished job evicted before its waiter polled is not a lost report."""
+        client = TuningClient(thread_server.url)
+        request = matmul_request(m=56)
+        pending = client.submit(request)
+        report = pending.result(timeout=300)
+        # simulate heavy-traffic eviction of the finished record
+        service = thread_server.service
+        with service._lock:
+            del service._jobs[pending.job_id]
+        late = PendingTuning(
+            client, pending.job_id, pending.fingerprint, "created",
+            request=request.to_dict(),
+        )
+        recovered = late.result(timeout=60)
+        assert recovered.to_dict() == report.to_dict()
+
+    def test_keepalive_connection_survives_posts_with_unread_bodies(self, thread_server):
+        """Every POST path must drain the body, or HTTP/1.1 pipelining desyncs."""
+        import http.client
+
+        host, port = thread_server.address
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            body = json.dumps({"kernel": "matmul"})
+            connection.request("POST", "/nope", body=body,
+                              headers={"Content-Type": "application/json"})
+            assert connection.getresponse().read() and True
+            # the same persistent connection must still parse cleanly
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_shutdown_endpoint_drains_and_stops(self):
+        server = TuningServer(port=0, executor="thread", max_workers=2).start()
+        client = TuningClient(server.url)
+        pending = client.submit(matmul_request(m=16))
+        assert client.shutdown()["status"] == "draining"
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            try:
+                client.healthz()
+                time.sleep(0.05)
+            except ServiceError:
+                break
+        else:
+            pytest.fail("server did not stop after /shutdown")
+        # the accepted job was drained, not abandoned
+        assert server.service.job(pending.job_id).status == "done"
+
+
+# -- process pool ------------------------------------------------------------------
+class TestProcessPool:
+    def test_distinct_requests_run_on_worker_processes_in_parallel(self, tmp_path):
+        server = TuningServer(
+            port=0, executor="process", max_workers=2, cache=tmp_path / "cache.json"
+        ).start()
+        try:
+            client = TuningClient(server.url)
+            start = COMPILE_COUNTER.count
+            a = client.submit(matmul_request(m=32))
+            b = client.submit(
+                TuneRequest(kernel="jacobi1d", sizes={"size": 256}, space=SMALL_SPACE)
+            )
+            job_a, job_b = a.job(timeout=300), b.job(timeout=300)
+            # both tuned on the pool's worker processes...
+            assert job_a["status"] == "done" and job_b["status"] == "done"
+            assert job_a["compiles"] > 0 and job_b["compiles"] > 0
+            # ...so this (server) process never compiled anything: the GIL escaped
+            assert COMPILE_COUNTER.count == start
+            assert client.cache_stats()["server"]["tuning_runs"] == 2
+        finally:
+            server.stop()
+
+    def test_identical_concurrent_requests_share_one_worker_run(self, tmp_path):
+        """Two clients, same fingerprint, one shared cache file: one tuning run."""
+        cache_path = tmp_path / "cache.json"
+        server = TuningServer(
+            port=0, executor="process", max_workers=2, cache=cache_path
+        ).start()
+        try:
+            client = TuningClient(server.url)
+            request = matmul_request(m=40)
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                handles = list(pool.map(lambda _: client.submit(request), range(2)))
+            reports = [handle.result(timeout=300) for handle in handles]
+            assert reports[0].to_dict() == reports[1].to_dict()
+            stats = client.cache_stats()["server"]
+            assert stats["tuning_runs"] == 1
+            assert stats["deduplicated"] + stats["cache_hits"] == 1
+            # the one run persisted through the shared, file-locked cache
+            assert handles[0].fingerprint in TuningCache(cache_path)
+        finally:
+            server.stop()
+
+
+# -- graceful shutdown -------------------------------------------------------------
+class TestSigtermDrain:
+    def test_sigterm_drains_inflight_jobs_before_exit(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.service", "serve",
+                "--port", "0", "--workers", "1", "--executor", "thread",
+                "--cache", str(cache_path),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner
+            url = banner.split("listening on ")[1].split()[0]
+            client = TuningClient(url)
+            # a wider space so the job is still in flight when SIGTERM lands
+            pending = client.submit(matmul_request(m=64, space=WIDE_SPACE))
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=300)
+            assert proc.returncode == 0
+            output = proc.stdout.read()
+            assert "draining in-flight jobs" in output
+            assert "server drained and stopped" in output
+            # the in-flight job ran to completion and persisted before exit
+            stored = json.loads(cache_path.read_text())
+            assert pending.fingerprint in stored["entries"]
+        finally:
+            if proc.poll() is None:
+                proc.kill()
