@@ -1,4 +1,4 @@
-"""Autotuning service — cold-vs-warm cache speedup and parallel evaluation.
+"""Autotuning service — cold-vs-warm cache speedup and per-backend timings.
 
 The persistent compilation cache is the infrastructure piece that turns the
 one-shot pipeline into a service: the first tuning request pays the full
@@ -6,11 +6,24 @@ search-and-evaluate cost, every identical request afterwards is answered from
 disk with zero pipeline compiles.  This harness measures both paths over a
 seeded batch of matmul problem sizes and asserts the warm path is at least an
 order of magnitude faster.
+
+It also times the pluggable persistence backends (legacy single JSON file,
+``dir:`` sharded store, ``log:`` append log) at put/get/warm-open, and runs
+standalone for CI smoke checks::
+
+    PYTHONPATH=src python benchmarks/bench_autotune_cache.py --quick --backend sharded
+
+Backend-selection errors (unknown scheme, bad layout) exit non-zero.
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
+import tempfile
 import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 import pytest
@@ -20,6 +33,13 @@ from repro.autotune import SpaceOptions, TuningJob, autotune_batch
 from repro.kernels import build_matmul_program
 
 from conftest import DEFAULT_SEED, print_series
+
+#: backend name → store URI template, rooted at a scratch directory
+BACKEND_SPECS = {
+    "json": "{root}/cache.json",
+    "sharded": "dir:{root}/cache-dir",
+    "log": "log:{root}/cache.log",
+}
 
 SPACE = SpaceOptions(
     thread_counts=(64, 128),
@@ -139,3 +159,94 @@ def test_cold_tuning_benchmark(benchmark):
         thread_counts=(64,), block_counts=(16,), tile_candidates_per_geometry=2
     )
     benchmark(lambda: autotune(program, space_options=small, seed=DEFAULT_SEED))
+
+
+# -- per-backend store microbenchmarks ---------------------------------------------
+def _payload(index: int, size: int) -> Dict[str, object]:
+    """A report-shaped value of roughly ``size`` JSON bytes."""
+    return {"index": index, "blob": "x" * size, "best": {"time_ms": float(index)}}
+
+
+def run_backend_microbench(
+    backend: str, root: Path, entries: int = 64, payload_bytes: int = 512
+) -> Dict[str, object]:
+    """Put/get/warm-open timings of one backend; raises on selection errors."""
+    spec = BACKEND_SPECS[backend].format(root=root)
+    cache = TuningCache(spec)
+    if cache.backend not in ("json", "sharded", "log"):
+        raise RuntimeError(f"{spec!r} selected unexpected backend {cache.backend!r}")
+
+    start = time.perf_counter()
+    for i in range(entries):
+        cache.put(f"fingerprint-{i:05d}", _payload(i, payload_bytes))
+    put_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for i in range(entries):
+        assert cache.get(f"fingerprint-{i:05d}") is not None
+    get_seconds = time.perf_counter() - start
+
+    # warm open: a fresh instance (new process in production) answering one hit
+    start = time.perf_counter()
+    warm = TuningCache(spec)
+    assert warm.get(f"fingerprint-{entries - 1:05d}") is not None
+    warm_hit_seconds = time.perf_counter() - start
+
+    stats = warm.stats()
+    return {
+        "backend": cache.backend,
+        "entries": entries,
+        "put_ms_per_entry": 1e3 * put_seconds / entries,
+        "get_ms_per_entry": 1e3 * get_seconds / entries,
+        "warm_open_hit_ms": 1e3 * warm_hit_seconds,
+        "store_bytes": stats["bytes"],
+    }
+
+
+@pytest.mark.parametrize("backend", sorted(BACKEND_SPECS))
+def test_backend_microbench_smoke(backend, tmp_path):
+    """Every backend completes the put/get/warm-hit loop and stays consistent."""
+    row = run_backend_microbench(backend, tmp_path, entries=16, payload_bytes=128)
+    assert row["store_bytes"] > 0
+    print_series(f"Cache store microbench ({backend})", [row])
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the tuning-cache persistence backends at put/get/warm-hit."
+    )
+    parser.add_argument(
+        "--backend",
+        default="all",
+        choices=["all", *sorted(BACKEND_SPECS)],
+        help="which store backend to exercise (default: all)",
+    )
+    parser.add_argument(
+        "--entries", type=int, default=256, help="entries to put/get per backend"
+    )
+    parser.add_argument(
+        "--payload-bytes", type=int, default=2048, help="approx JSON bytes per entry"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes for CI smoke runs (64 entries of 256 bytes)",
+    )
+    args = parser.parse_args(argv)
+    entries = 64 if args.quick else args.entries
+    payload = 256 if args.quick else args.payload_bytes
+    backends = sorted(BACKEND_SPECS) if args.backend == "all" else [args.backend]
+    rows = []
+    for backend in backends:
+        with tempfile.TemporaryDirectory(prefix=f"bench-cache-{backend}-") as root:
+            try:
+                rows.append(run_backend_microbench(backend, Path(root), entries, payload))
+            except Exception as error:  # backend selection/IO failure fails the job
+                print(f"error: backend {backend!r} failed: {error}", file=sys.stderr)
+                return 1
+    print_series("Cache store microbench (per-backend put/get/warm-hit)", rows)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,13 +1,16 @@
 """End-to-end demo of the tuning server: dedup, shared cache, warm hits.
 
-Starts a :class:`TuningServer` in-process on an ephemeral port, submits the
-same matmul request twice (cold run, then a warm cache hit with zero
-compiles), fires four *concurrent* identical requests to show in-flight
-deduplication (one tuning run serves all four), and drains gracefully.
+Starts a :class:`TuningServer` in-process on an ephemeral port backed by the
+*sharded* cache store (one file per fingerprint — worker puts are O(1) and
+never rewrite the rest of the cache), submits the same matmul request twice
+(cold run, then a warm cache hit with zero compiles), fires four
+*concurrent* identical requests to show in-flight deduplication (one tuning
+run serves all four), and drains gracefully.
 
 Run with:  python examples/tuning_server_client.py
 """
 
+import shutil
 import tempfile
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -18,13 +21,17 @@ SPACE = {"thread_counts": [64, 128], "block_counts": [16, 32], "tile_candidates_
 
 
 def main() -> None:
-    cache_path = Path(tempfile.gettempdir()) / "repro_tuning_server_demo.json"
-    cache_path.unlink(missing_ok=True)
+    cache_dir = Path(tempfile.gettempdir()) / "repro_tuning_server_demo_cache"
+    shutil.rmtree(cache_dir, ignore_errors=True)
 
-    server = TuningServer(port=0, executor="process", max_workers=2, cache=cache_path)
+    server = TuningServer(
+        port=0, executor="process", max_workers=2, cache=f"dir:{cache_dir}"
+    )
     server.start()
     client = TuningClient(server.url)
-    print(f"server: {server.url}  health: {client.healthz()['status']}")
+    health = client.healthz()
+    print(f"server: {server.url}  health: {health['status']}  "
+          f"cache backend: {health['cache_backend']}")
 
     request = TuneRequest(kernel="matmul", sizes={"m": 128, "n": 128, "k": 128}, space=SPACE)
 

@@ -12,14 +12,27 @@ machine.  This package supplies that empirical layer as a reusable service:
   optional interpreter correctness spot-checks;
 * :mod:`repro.autotune.search` — exhaustive / pruned-grid / random-restart
   hill-climb strategies with order-preserving parallel evaluation;
-* :mod:`repro.autotune.cache` — persistent fingerprint-keyed JSON cache, so
+* :mod:`repro.autotune.cache` — persistent fingerprint-keyed cache facade, so
   repeated tuning requests are O(1) with zero pipeline compiles;
+* :mod:`repro.autotune.store` — pluggable persistence backends behind the
+  :class:`CacheStore` interface (legacy single JSON file, sharded
+  per-fingerprint directory, append-only JSONL log) selected by store URI;
 * :mod:`repro.autotune.session` — the public :func:`autotune` /
   :func:`autotune_batch` API returning :class:`TuningReport`;
 * :mod:`repro.autotune.cli` — ``python -m repro.autotune``.
 """
 
 from repro.autotune.cache import TuningCache, fingerprint
+from repro.autotune.store import (
+    AppendLogStore,
+    CacheStore,
+    JsonFileStore,
+    MemoryStore,
+    ShardedStore,
+    migrate_store,
+    open_store,
+    parse_store_uri,
+)
 from repro.autotune.evaluate import ConfigurationEvaluator, EvaluationResult, best_result
 from repro.autotune.search import (
     EXECUTORS,
@@ -43,9 +56,14 @@ from repro.autotune.session import (
 from repro.autotune.space import Configuration, ConfigurationSpace, SpaceOptions
 
 __all__ = [
+    "AppendLogStore",
+    "CacheStore",
     "Configuration",
     "ConfigurationSpace",
     "ConfigurationEvaluator",
+    "JsonFileStore",
+    "MemoryStore",
+    "ShardedStore",
     "EvaluationResult",
     "EXECUTORS",
     "ExecutorFallbackWarning",
@@ -64,6 +82,9 @@ __all__ = [
     "best_result",
     "fingerprint",
     "make_batch_evaluator",
+    "migrate_store",
+    "open_store",
+    "parse_store_uri",
     "resolve_strategy",
     "tuning_fingerprint",
 ]

@@ -2,60 +2,47 @@
 
 Tuning the same (program, machine, params, options, strategy, space) twice
 must cost nothing the second time: the session layer fingerprints the request,
-and this cache maps fingerprints to serialised tuning reports in a JSON file
-on disk.  The fingerprint hashes the *rendered* program text (the C-like
-printer output is deterministic and captures loop structure, domains and
-accesses), the machine spec fields, the bound parameters, the base mapping
-options and the strategy/space signatures — anything that can change the
-answer changes the key.
+and this cache maps fingerprints to serialised tuning reports.  The
+fingerprint hashes the *rendered* program text (the C-like printer output is
+deterministic and captures loop structure, domains and accesses), the machine
+spec fields, the bound parameters, the base mapping options and the
+strategy/space signatures — anything that can change the answer changes the
+key.
 
-Writes are atomic (temp file + ``os.replace``) so a crash mid-save never
-corrupts a warm cache.
+:class:`TuningCache` itself is a thin facade: hit/miss accounting, thread
+safety, and the absorb-without-persisting overlay live here, while actual
+persistence is delegated to a pluggable :class:`repro.autotune.store.CacheStore`
+backend selected by the ``path`` spec — a plain ``.json`` path keeps the
+legacy single-file format, ``dir:PATH`` selects the sharded per-fingerprint
+layout (O(1) puts), and ``log:PATH`` the append-only JSONL log.  See
+:mod:`repro.autotune.store` for the backends and
+``python -m repro.autotune cache-migrate`` for converting between them.
+
+All backends write durably (atomic replace or locked append) so a crash
+mid-save never corrupts a warm cache.
 """
 
 from __future__ import annotations
 
-import contextlib
 import hashlib
 import json
-import os
-import tempfile
 import threading
-import warnings
 from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
-
-try:
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX platforms
-    fcntl = None
 
 from repro.core.options import MappingOptions
 from repro.ir.printer import program_to_c
 from repro.ir.program import Program
 from repro.machine.spec import GPUSpec
+from repro.autotune.store import CACHE_VERSION, CacheStore, open_store
 
-#: version 2: entry file order is insertion order (prune's "oldest"); files
-#: written by version 1 (key-sorted) are discarded as a cold cache rather
-#: than mis-pruned
-CACHE_VERSION = 2
-
-#: whether the missing-fcntl warning has been emitted (once per process)
-_warned_unlocked = False
-
-
-def _warn_unlocked_writes() -> None:
-    global _warned_unlocked
-    if _warned_unlocked:
-        return
-    _warned_unlocked = True
-    warnings.warn(
-        "fcntl is unavailable on this platform: TuningCache writes proceed "
-        "without inter-process file locking, so concurrent writers may race",
-        RuntimeWarning,
-        stacklevel=4,
-    )
+__all__ = [
+    "CACHE_VERSION",
+    "TuningCache",
+    "canonical_json",
+    "fingerprint",
+]
 
 
 def canonical_json(payload: Any) -> str:
@@ -93,31 +80,54 @@ def fingerprint(
 
 
 class TuningCache:
-    """Fingerprint → report-dict store, optionally persisted to a JSON file.
+    """Fingerprint → report-dict store over a pluggable persistence backend.
 
     ``path=None`` keeps the cache in memory only (useful for tests and
-    one-shot sessions); with a path, every :meth:`put` persists immediately
-    and a fresh instance pointed at the same file starts warm.
+    one-shot sessions); any other spec — a ``.json`` path, ``dir:DIR``,
+    ``log:FILE``, or an already-open :class:`CacheStore` — persists every
+    :meth:`put` immediately, and a fresh instance pointed at the same
+    location starts warm.
 
     Thread-safe: an internal lock serialises the threads of one process
     sharing an instance (the tuning service's thread-executor mode), while
-    the ``fcntl`` file lock serialises *processes* sharing the backing file.
+    the backends' ``fcntl`` file locks serialise *processes* sharing the
+    backing files.
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
-        self.path = Path(path) if path is not None else None
+    def __init__(self, path: Union[CacheStore, str, Path, None] = None) -> None:
+        self.store = open_store(path)
         self.hits = 0
         self.misses = 0
-        self._entries: Dict[str, Dict[str, Any]] = {}
+        #: results absorbed from other processes: visible to get(), never
+        #: persisted by this instance (the producer already persisted them)
+        self._absorbed: Dict[str, Dict[str, Any]] = {}
         self._mutex = threading.Lock()
-        if self.path is not None and self.path.exists():
-            self._load()
+
+    # -- identity ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """The persistence backend's short name (``memory``/``json``/...)."""
+        return self.store.backend
+
+    @property
+    def path(self) -> Optional[Path]:
+        """Filesystem anchor of the backend (file or directory), if any."""
+        return self.store.path
+
+    @property
+    def uri(self) -> Optional[str]:
+        """Spec string that re-opens this cache's store (``None`` = memory).
+
+        This is what travels to worker processes: ``TuningCache(cache.uri)``
+        reconstructs the same backend, whatever kind it is.
+        """
+        return self.store.uri
 
     # -- mapping interface ---------------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored report for ``key``, counting the hit or miss."""
         with self._mutex:
-            entry = self._entries.get(key)
+            entry = self._lookup(key)
             if entry is None:
                 self.misses += 1
                 return None
@@ -131,134 +141,92 @@ class TuningCache:
         tests) so hit-rate statistics only count real lookups.
         """
         with self._mutex:
-            return self._entries.get(key)
+            return self._lookup(key)
+
+    def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        entry = self._absorbed.get(key)
+        if entry is not None:
+            return entry
+        return self.store.get(key)
 
     def put(self, key: str, value: Mapping[str, Any]) -> None:
-        """Store a report and (when file-backed) persist atomically."""
+        """Store a report and (when backed by a store) persist durably."""
         with self._mutex:
-            self._entries[key] = dict(value)
-            if self.path is not None:
-                self._save()
+            self._absorbed.pop(key, None)
+            self.store.put(key, dict(value))
 
     def absorb(self, key: str, value: Mapping[str, Any]) -> None:
         """Store a report in memory *without* persisting.
 
-        For results another process already wrote to the backing file (the
+        For results another process already wrote to the backing store (the
         tuning service's worker processes): the entry becomes visible to this
-        instance's :meth:`get` without a redundant read-merge-write cycle.
+        instance's :meth:`get` without a redundant persistence cycle.
         """
         with self._mutex:
-            self._entries[key] = dict(value)
+            if self.store.path is None:
+                self.store.put(key, dict(value))
+            else:
+                self._absorbed[key] = dict(value)
 
     def __contains__(self, key: str) -> bool:
         with self._mutex:
-            return key in self._entries
+            return key in self._absorbed or key in self.store
 
     def __len__(self) -> int:
         with self._mutex:
-            return len(self._entries)
+            extra = sum(1 for key in self._absorbed if key not in self.store)
+            return len(self.store) + extra
 
     def clear(self) -> None:
-        """Drop every entry (and the backing file's contents)."""
+        """Drop every entry (and the backing store's contents)."""
         with self._mutex:
-            self._entries.clear()
-            if self.path is not None:
-                self._save(merge=False)
+            self._absorbed.clear()
+            self.store.clear()
 
     def prune(self, max_entries: int) -> int:
         """Drop the oldest entries beyond ``max_entries``; returns the count dropped.
 
-        "Oldest" is insertion order (JSON objects preserve it round-trip).
-        The save skips the usual read-merge so this instance's later saves
-        cannot resurrect the pruned entries from disk.  A *different* live
-        process still holding them in memory will merge them back on its next
-        save, though — run maintenance pruning while writers are idle.
+        "Oldest" is insertion order, whichever backend persists it.  Pruned
+        entries stay pruned under concurrent writers: the sharded and log
+        backends delete per-entry state no saver ever rewrites, and the JSON
+        backend records tombstones that later saves honour.
         """
         if max_entries < 0:
             raise ValueError(f"max_entries cannot be negative, got {max_entries}")
         with self._mutex:
-            drop = len(self._entries) - max_entries
-            if drop <= 0:
-                return 0
-            for key in list(self._entries)[:drop]:
-                del self._entries[key]
-            if self.path is not None:
-                self._save(merge=False)
-            return drop
+            dropped = self.store.prune(max_entries)
+            if dropped and self._absorbed:
+                # absorbed entries were persisted by other processes; any the
+                # prune deleted must stop being served from the overlay too
+                self._absorbed = {
+                    k: v for k, v in self._absorbed.items() if k in self.store
+                }
+            return dropped
 
-    def stats(self) -> Dict[str, int]:
-        """Entry count, on-disk bytes (0 when in-memory), and hit/miss counters."""
-        size = 0
-        if self.path is not None:
-            try:
-                size = self.path.stat().st_size
-            except OSError:
-                size = 0
+    def scan(self):
+        """Every persisted (key, value) pair, oldest insertion first."""
         with self._mutex:
-            return {
-                "entries": len(self._entries),
-                "bytes": size,
-                "hits": self.hits,
-                "misses": self.misses,
-            }
+            return list(self.store.scan())
 
-    # -- persistence ---------------------------------------------------------------
-    def _load(self) -> None:
-        try:
-            payload = json.loads(self.path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            # A missing or corrupt file means a cold cache, not a crash.
-            self._entries = {}
-            return
-        if payload.get("version") != CACHE_VERSION:
-            self._entries = {}
-            return
-        entries = payload.get("entries", {})
-        if isinstance(entries, dict):
-            self._entries = {str(k): dict(v) for k, v in entries.items()}
+    def compact(self) -> Dict[str, Any]:
+        """Reclaim backend dead space (tombstones, dead log records, ...)."""
+        with self._mutex:
+            return self.store.compact()
 
-    @contextlib.contextmanager
-    def _file_lock(self):
-        """Exclusive advisory lock on a sidecar file (warns, once, without fcntl)."""
-        if fcntl is None:
-            _warn_unlocked_writes()
-            yield
-            return
-        lock_path = self.path.with_name(self.path.name + ".lock")
-        with open(lock_path, "w") as handle:
-            fcntl.flock(handle, fcntl.LOCK_EX)
-            try:
-                yield
-            finally:
-                fcntl.flock(handle, fcntl.LOCK_UN)
+    def stats(self) -> Dict[str, Any]:
+        """Backend identity and gauges, plus this instance's hit/miss counters.
 
-    def _save(self, merge: bool = True) -> None:
-        # Read-merge-write under an exclusive file lock: pick up entries other
-        # processes persisted since we loaded, so concurrent sessions tuning
-        # different kernels against one cache file keep each other's results
-        # (our own keys win).  Without fcntl the merge still runs but is only
-        # best-effort against a racing writer.
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self._file_lock():
-            if merge and self.path.exists():
-                on_disk = TuningCache.__new__(TuningCache)
-                on_disk.path = self.path
-                on_disk._entries = {}
-                on_disk._load()
-                self._entries = {**on_disk._entries, **self._entries}
-            payload = {"version": CACHE_VERSION, "entries": self._entries}
-            descriptor, temp_name = tempfile.mkstemp(
-                dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        ``entries`` counts absorbed-but-not-yet-visible results too, so a
+        server's ``/cache/stats`` reflects every report it can serve — even
+        ones a worker persisted through its own store instance moments ago.
+        """
+        with self._mutex:
+            # under the mutex: AppendLogStore.stats() resyncs its index, and
+            # every other store access in this class is mutex-serialised too
+            base = self.store.stats()
+            base["entries"] += sum(
+                1 for key in self._absorbed if key not in self.store
             )
-            try:
-                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                    # No sort_keys: entry insertion order must survive the
-                    # round-trip — prune() defines "oldest" by it.
-                    json.dump(payload, handle, indent=1)
-                os.replace(temp_name, self.path)
-            except BaseException:
-                try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-                raise
+            base["hits"] = self.hits
+            base["misses"] = self.misses
+        return base

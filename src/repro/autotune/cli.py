@@ -11,11 +11,15 @@ Tune a 256³ matmul with 4 parallel evaluators and a persistent cache::
     python -m repro.autotune matmul --size m=256 n=256 k=256 \\
         --strategy pruned --workers 4 --cache .autotune-cache.json
 
-A second identical invocation is served entirely from the cache.  Inspect or
-bound that cache with the maintenance subcommands::
+A second identical invocation is served entirely from the cache.  ``--cache``
+accepts any store URI — a plain ``.json`` path (legacy single file),
+``dir:DIR`` (sharded per-fingerprint store, O(1) puts), or ``log:FILE``
+(append-only JSONL log).  Inspect, bound, or convert that cache with the
+maintenance subcommands::
 
     python -m repro.autotune cache-stats --cache .autotune-cache.json
-    python -m repro.autotune cache-prune --cache .autotune-cache.json --max-entries 64
+    python -m repro.autotune cache-prune --cache dir:.autotune-cache --max-entries 64
+    python -m repro.autotune cache-migrate .autotune-cache.json dir:.autotune-cache
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.pipeline import counting_compiles
 from repro.kernels.registry import available_kernels, get_kernel
 from repro.autotune.cache import TuningCache
+from repro.autotune.store import migrate_store, ordered_cache_stats
 from repro.autotune.search import EXECUTORS, STRATEGIES, ExecutorFallbackWarning
 from repro.autotune.session import autotune
 from repro.autotune.space import SpaceOptions
@@ -54,8 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.autotune",
         description="Empirically autotune a kernel's mapping on the machine models.",
         epilog="maintenance subcommands (dispatched before tuning arguments): "
-        "'cache-stats --cache PATH' prints cache statistics; "
-        "'cache-prune --cache PATH --max-entries N' drops the oldest entries.",
+        "'cache-stats --cache STORE' prints cache statistics; "
+        "'cache-prune --cache STORE --max-entries N' drops the oldest entries; "
+        "'cache-migrate SRC DST' converts between backends "
+        "(PATH.json | dir:DIR | log:FILE).",
     )
     parser.add_argument("kernel", nargs="?", help="registered kernel name")
     parser.add_argument(
@@ -84,7 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker kind for parallel evaluation (process escapes the GIL)",
     )
     parser.add_argument(
-        "--cache", default=None, metavar="PATH", help="persistent cache file"
+        "--cache",
+        default=None,
+        metavar="STORE",
+        help="persistent cache store: PATH.json, dir:DIR (sharded), or log:FILE",
     )
     parser.add_argument("--seed", type=int, default=0, help="search / input seed")
     parser.add_argument(
@@ -124,7 +134,10 @@ def _cache_tools_parser(command: str) -> argparse.ArgumentParser:
         description="Inspect or bound a persistent tuning cache.",
     )
     parser.add_argument(
-        "--cache", required=True, metavar="PATH", help="persistent cache file"
+        "--cache",
+        required=True,
+        metavar="STORE",
+        help="cache store: PATH.json, dir:DIR (sharded), or log:FILE",
     )
     if command == "cache-prune":
         parser.add_argument(
@@ -138,13 +151,19 @@ def _cache_tools_parser(command: str) -> argparse.ArgumentParser:
 
 def cache_stats_main(argv: Sequence[str]) -> int:
     args = _cache_tools_parser("cache-stats").parse_args(argv)
-    cache = TuningCache(args.cache)
+    try:
+        cache = TuningCache(args.cache)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     stats = cache.stats()
-    print(f"cache {args.cache}")
     # hit/miss counters are per-instance and would always read 0 here; the
     # live numbers come from a running session or the server's /cache/stats
-    for field in ("entries", "bytes"):
-        print(f"  {field}: {stats[field]}")
+    stats.pop("hits", None)
+    stats.pop("misses", None)
+    print(f"cache {args.cache}")
+    for field, value in ordered_cache_stats(stats):
+        print(f"  {field}: {value}")
     return 0
 
 
@@ -153,9 +172,45 @@ def cache_prune_main(argv: Sequence[str]) -> int:
     if args.max_entries < 0:
         print("error: --max-entries cannot be negative", file=sys.stderr)
         return 2
-    cache = TuningCache(args.cache)
+    try:
+        cache = TuningCache(args.cache)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     dropped = cache.prune(args.max_entries)
     print(f"pruned {dropped} entries; {len(cache)} remain in {args.cache}")
+    return 0
+
+
+def cache_migrate_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.autotune cache-migrate",
+        description="Convert a tuning cache between persistence backends, "
+        "preserving entry content and insertion order (prune's notion of "
+        "'oldest' survives the move).",
+    )
+    parser.add_argument(
+        "src", metavar="SRC", help="source store: PATH.json, dir:DIR, or log:FILE"
+    )
+    parser.add_argument(
+        "dst", metavar="DST", help="destination store: PATH.json, dir:DIR, or log:FILE"
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite a non-empty destination store",
+    )
+    args = parser.parse_args(argv)
+    try:
+        outcome = migrate_store(args.src, args.dst, force=args.force)
+    except (ValueError, RuntimeError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"migrated {outcome['entries']} entries: "
+        f"{outcome['src']} ({outcome['src_backend']}) -> "
+        f"{outcome['dst']} ({outcome['dst_backend']})"
+    )
     return 0
 
 
@@ -165,6 +220,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cache_stats_main(argv[1:])
     if argv and argv[0] == "cache-prune":
         return cache_prune_main(argv[1:])
+    if argv and argv[0] == "cache-migrate":
+        return cache_migrate_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -192,7 +249,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         block_counts=tuple(args.blocks) if args.blocks else defaults.block_counts,
         scratchpad_choices=(True, False) if args.allow_no_scratchpad else (True,),
     )
-    cache = TuningCache(args.cache) if args.cache else None
+    try:
+        cache = TuningCache(args.cache) if args.cache else None
+    except ValueError as error:  # e.g. an unknown store scheme
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always", RuntimeWarning)
         with counting_compiles() as compiles:
@@ -227,7 +288,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         suffix = " (+ evaluation compiles in worker processes)"
     print(f"pipeline compiles this call: {compiles.count}{suffix}")
     if cache is not None:
-        print(f"cache: {cache.stats()} at {cache.path}")
+        print(f"cache: {cache.stats()} at {cache.uri}")
     ranked = sorted(
         (r for r in report.results if r.feasible),
         key=lambda r: (r.time_ms, r.configuration.key()),

@@ -12,6 +12,7 @@ repeated requests are answered from disk with **zero** pipeline compiles
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.core.options import MappingOptions
@@ -182,7 +183,7 @@ def autotune(
     strategy: Union[str, SearchStrategy] = "pruned",
     max_workers: int = 1,
     executor: str = "thread",
-    cache: Optional[TuningCache] = None,
+    cache: Union[TuningCache, str, Path, None] = None,
     seed: int = 0,
     space_options: Optional[SpaceOptions] = None,
     check_correctness: bool = False,
@@ -203,8 +204,10 @@ def autotune(
         GIL for cold tuning runs (falling back to threads with a warning when
         the program is not picklable).
     cache:
-        A :class:`TuningCache`; a warm entry is returned without a single
-        pipeline compile.
+        A :class:`TuningCache`, or a store spec it accepts (a ``.json``
+        path, ``dir:DIR`` for the sharded store, ``log:FILE`` for the
+        append log); a warm entry is returned without a single pipeline
+        compile.
     seed:
         Drives every randomised search path (and the correctness spot-check
         inputs), making runs reproducible.
@@ -217,6 +220,8 @@ def autotune(
         raise ValueError("max_workers must be positive")
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    if cache is not None and not isinstance(cache, TuningCache):
+        cache = TuningCache(cache)
     options, strategy, space, key = _prepare_request(
         program, spec, param_values, options, strategy, seed,
         space_options, check_correctness, check_program,
@@ -272,6 +277,10 @@ def autotune_batch(
     of :func:`autotune` applies to each job, so one shared cache serves the
     whole batch.
     """
+    cache = kwargs.get("cache")
+    if cache is not None and not isinstance(cache, TuningCache):
+        # open the store once for the whole batch, not once per job
+        kwargs["cache"] = TuningCache(cache)
     reports: List[TuningReport] = []
     for job in jobs:
         if isinstance(job, Program):

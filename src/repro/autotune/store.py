@@ -1,0 +1,940 @@
+"""Pluggable persistence backends for the tuning cache.
+
+:class:`repro.autotune.cache.TuningCache` used to *be* its persistence: one
+JSON file, re-parsed and rewritten whole under a coarse ``flock`` on every
+cold put (O(entries) on the hot path), whose read-merge-write save could
+resurrect entries a concurrent ``prune()`` had just deleted.  This module
+extracts persistence behind the :class:`CacheStore` interface so the hot
+path, the locking granularity, and the prune semantics are properties of a
+*backend*, selected by URI:
+
+``PATH.json`` (or ``json:PATH``)
+    :class:`JsonFileStore` — the legacy version-2 single-file format, kept
+    for compatibility.  Saves now overlay only the keys *this* instance
+    wrote (never its whole in-memory mirror) and honour on-disk tombstones,
+    so a concurrent prune can no longer be undone by a racing writer.
+``dir:PATH`` (or an existing directory)
+    :class:`ShardedStore` — one file per fingerprint under a two-hex-char
+    fanout directory.  ``put`` writes exactly one entry file (O(1), never
+    reading or rewriting other entries) under a per-shard lock; ``prune``
+    unlinks individual files, so it is prune-safe by construction.
+``log:PATH`` (or ``PATH.jsonl`` / ``PATH.log``)
+    :class:`AppendLogStore` — append-only JSONL with an in-memory offset
+    index, size-triggered compaction and crash-truncated-tail recovery, for
+    high-churn server workloads.
+
+``open_store`` maps a URI/path to a backend, ``migrate_store`` converts any
+backend into any other preserving insertion order (``prune``'s notion of
+"oldest" survives migration), and every backend reports its identity and
+backend-specific gauges through ``stats()["backend"]`` et al.
+
+Stores are safe against concurrent *processes* via ``fcntl`` advisory locks
+(with a warn-once degradation where ``fcntl`` is missing); *thread* safety
+is provided one level up by the :class:`TuningCache` facade's mutex.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import re
+import tempfile
+import time
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+#: version 2: entry file order is insertion order (prune's "oldest"); files
+#: written by version 1 (key-sorted) are discarded as a cold cache rather
+#: than mis-pruned
+CACHE_VERSION = 2
+
+#: format version of the sharded directory layout (``store.json`` marker)
+SHARDED_STORE_VERSION = 1
+
+#: whether the missing-fcntl warning has been emitted (once per process)
+_warned_unlocked = False
+
+StorePath = Union[str, os.PathLike]
+
+#: stats fields every backend (plus the facade's counters) reports; anything
+#: else in a stats payload is a backend-specific gauge
+CACHE_STATS_COMMON_FIELDS = ("backend", "entries", "bytes", "hits", "misses")
+
+
+def ordered_cache_stats(stats: Mapping[str, Any]) -> Iterator[Tuple[str, Any]]:
+    """A cache-stats payload as (field, value) pairs in render order.
+
+    Common fields first (in their documented order), then the backend's own
+    gauges sorted by name — so a ``dir:`` store shows its ``shards`` and a
+    ``log:`` store its ``segments``/``compactions`` without the consumer
+    hard-coding either.  Shared by both CLIs and the service wire docs.
+    """
+    for name in CACHE_STATS_COMMON_FIELDS:
+        if name in stats:
+            yield name, stats[name]
+    for name in sorted(stats):
+        if name not in CACHE_STATS_COMMON_FIELDS:
+            yield name, stats[name]
+
+
+def _warn_unlocked_writes() -> None:
+    global _warned_unlocked
+    if _warned_unlocked:
+        return
+    _warned_unlocked = True
+    warnings.warn(
+        "fcntl is unavailable on this platform: TuningCache writes proceed "
+        "without inter-process file locking, so concurrent writers may race",
+        RuntimeWarning,
+        stacklevel=5,
+    )
+
+
+@contextlib.contextmanager
+def _locked(lock_path: Path):
+    """Exclusive advisory lock on a sidecar file (warns, once, without fcntl).
+
+    A *sidecar* rather than the data file itself: backends replace their data
+    files atomically (``os.replace``), which would orphan a lock held on the
+    replaced inode.
+    """
+    if fcntl is None:
+        _warn_unlocked_writes()
+        yield
+        return
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(lock_path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file + rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+class CacheStore:
+    """Interface every tuning-result store backend implements.
+
+    Keys are opaque strings (in practice SHA-256 fingerprints), values are
+    JSON-serialisable dicts.  ``scan`` yields entries in *insertion order* —
+    the order ``prune`` treats as oldest-first and ``migrate_store``
+    preserves across backends.  Implementations must keep ``put`` durable
+    against a crash mid-write (atomic replace or append) and safe against
+    concurrent processes sharing the same location.
+    """
+
+    #: short backend identifier reported by ``stats()["backend"]``
+    backend: str = "abstract"
+
+    #: filesystem anchor (file or directory), ``None`` for in-memory stores
+    path: Optional[Path] = None
+
+    @property
+    def uri(self) -> Optional[str]:
+        """Canonical spec string that re-opens this store (``None`` = memory)."""
+        raise NotImplementedError
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def put(self, key: str, value: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+    def scan(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Every (key, value) pair, oldest insertion first."""
+        raise NotImplementedError
+
+    def prune(self, max_entries: int) -> int:
+        """Drop the oldest entries beyond ``max_entries``; the count dropped."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        """At least ``backend``, ``entries`` and ``bytes``, plus backend gauges."""
+        raise NotImplementedError
+
+    def compact(self) -> Dict[str, Any]:
+        """Reclaim dead space; a dict describing what was reclaimed."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+
+class MemoryStore(CacheStore):
+    """Process-local dict — the ``path=None`` cache of one-shot sessions."""
+
+    backend = "memory"
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Dict[str, Any]] = {}
+
+    @property
+    def uri(self) -> Optional[str]:
+        return None
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._entries.get(key)
+
+    def put(self, key: str, value: Mapping[str, Any]) -> None:
+        self._entries[key] = dict(value)
+
+    def scan(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        yield from list(self._entries.items())
+
+    def prune(self, max_entries: int) -> int:
+        drop = len(self._entries) - max_entries
+        if drop <= 0:
+            return 0
+        for key in list(self._entries)[:drop]:
+            del self._entries[key]
+        return drop
+
+    def stats(self) -> Dict[str, Any]:
+        return {"backend": self.backend, "entries": len(self._entries), "bytes": 0}
+
+    def compact(self) -> Dict[str, Any]:
+        return {}
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+class JsonFileStore(CacheStore):
+    """The legacy single-JSON-file format (version 2), made prune-safe.
+
+    The whole store is one ``{"version", "entries", "tombstones"}`` document;
+    a warm open is one parse, and ``get`` serves from the in-memory mirror.
+    The historical race: an instance's save used to read-merge-write its
+    *entire* mirror over the file, so a writer that loaded before a
+    concurrent ``prune()`` resurrected every pruned entry on its next put.
+    Two changes make that structurally impossible:
+
+    * a save only overlays the keys this instance actually wrote since its
+      last sync (the *dirty* set) — never the whole mirror;
+    * ``prune`` records the dropped keys as tombstones inside the same
+      locked write, and every later save drops tombstoned keys from its own
+      mirror (unless it deliberately re-put them, which also clears the
+      tombstone).
+
+    Tombstones are capped at :data:`MAX_TOMBSTONES` (newest kept) so the
+    file cannot grow without bound; the field is ignored by version-2
+    readers that predate it.
+    """
+
+    backend = "json"
+
+    #: upper bound on persisted tombstones (newest survive the cap)
+    MAX_TOMBSTONES = 4096
+
+    def __init__(self, path: StorePath) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty: set = set()
+        self._tombstone_count = 0
+        if self.path.exists():
+            self._entries, tombstones = self._read()
+            self._tombstone_count = len(tombstones)
+
+    @property
+    def uri(self) -> Optional[str]:
+        return str(self.path)
+
+    def _read(self) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, int]]:
+        """The on-disk (entries, tombstones); a bad file reads as cold."""
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            # A missing or corrupt file means a cold cache, not a crash.
+            return {}, {}
+        if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+            return {}, {}
+        entries = payload.get("entries", {})
+        tombstones = payload.get("tombstones", {})
+        if not isinstance(entries, dict):
+            entries = {}
+        if not isinstance(tombstones, dict):
+            tombstones = {}
+        return (
+            {str(k): dict(v) for k, v in entries.items()},
+            {str(k): int(v) for k, v in tombstones.items()},
+        )
+
+    def _write(
+        self, entries: Dict[str, Dict[str, Any]], tombstones: Dict[str, int]
+    ) -> None:
+        if len(tombstones) > self.MAX_TOMBSTONES:
+            newest = sorted(tombstones, key=tombstones.__getitem__)[-self.MAX_TOMBSTONES:]
+            tombstones = {k: tombstones[k] for k in newest}
+        payload: Dict[str, Any] = {"version": CACHE_VERSION, "entries": entries}
+        if tombstones:
+            payload["tombstones"] = tombstones
+        # No sort_keys: entry insertion order must survive the round-trip —
+        # prune() defines "oldest" by it.
+        _atomic_write_text(self.path, json.dumps(payload, indent=1))
+        self._tombstone_count = len(tombstones)
+
+    def _lock_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".lock")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._entries.get(key)
+
+    def put(self, key: str, value: Mapping[str, Any]) -> None:
+        self._entries[key] = dict(value)
+        self._dirty.add(key)
+        self._sync()
+
+    def _sync(self) -> None:
+        """Persist this instance's dirty keys, under the exclusive file lock.
+
+        The merge base is the *current* on-disk state, so entries other
+        processes persisted since our load are kept; only our dirty keys are
+        overlaid on top (our writes win for those keys, nothing else of our
+        mirror touches the file).  On-disk tombstones for keys we did not
+        re-put are applied to our mirror, converging it with concurrent
+        prunes instead of resurrecting their victims.
+        """
+        with _locked(self._lock_path()):
+            disk_entries, tombstones = self._read()
+            for key in tombstones:
+                if key not in self._dirty:
+                    self._entries.pop(key, None)
+            merged = dict(disk_entries)
+            for key in self._entries:
+                if key in self._dirty:
+                    merged[key] = self._entries[key]
+            tombstones = {k: v for k, v in tombstones.items() if k not in self._dirty}
+            self._write(merged, tombstones)
+            # Adopt other processes' entries (and drop anything that vanished
+            # from disk) so this mirror serves warm hits for the whole file.
+            self._entries = merged
+            self._dirty.clear()
+
+    def scan(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        entries, _tombstones = self._read()
+        for key in self._entries:
+            if key in self._dirty:
+                entries[key] = self._entries[key]
+        yield from entries.items()
+
+    def prune(self, max_entries: int) -> int:
+        now = time.time_ns()
+        with _locked(self._lock_path()):
+            disk_entries, tombstones = self._read()
+            merged = dict(disk_entries)
+            for key in self._entries:
+                if key in self._dirty:
+                    merged[key] = self._entries[key]
+            drop = len(merged) - max_entries
+            if drop <= 0:
+                self._entries = merged
+                self._dirty.clear()
+                return 0
+            dropped = list(merged)[:drop]
+            for key in dropped:
+                del merged[key]
+                tombstones[key] = now
+            self._write(merged, tombstones)
+            self._entries = merged
+            self._dirty.clear()
+            return drop
+
+    def stats(self) -> Dict[str, Any]:
+        size = 0
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        return {
+            "backend": self.backend,
+            "entries": len(self._entries),
+            "bytes": size,
+            "tombstones": self._tombstone_count,
+        }
+
+    def compact(self) -> Dict[str, Any]:
+        """Drop every persisted tombstone (entries are already compact)."""
+        with _locked(self._lock_path()):
+            entries, tombstones = self._read()
+            removed = len(tombstones)
+            if removed:
+                self._write(entries, {})
+            return {"tombstones_removed": removed}
+
+    def clear(self) -> None:
+        with _locked(self._lock_path()):
+            self._write({}, {})
+            self._entries.clear()
+            self._dirty.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+class ShardedStore(CacheStore):
+    """One file per fingerprint under a two-hex-char fanout directory.
+
+    ``put`` creates exactly one entry file (atomic temp + rename under that
+    shard's lock) and never reads or rewrites any other entry — O(1)
+    whatever the store holds.  ``prune`` unlinks individual entry files, so
+    a concurrent writer cannot resurrect a pruned entry: its save touches
+    only its own file.  Insertion order is a monotonic per-entry ``seq``
+    stamped into each file (wall-clock nanoseconds, forced strictly
+    increasing within a process), which ``scan``/``prune`` sort by.
+    """
+
+    backend = "sharded"
+
+    #: root marker file naming the layout version
+    META_NAME = "store.json"
+
+    def __init__(self, root: StorePath) -> None:
+        self.path = Path(root)
+        self._last_seq = 0
+        meta_path = self.path / self.META_NAME
+        if meta_path.exists():
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                meta = {}
+            if meta.get("version") != SHARDED_STORE_VERSION:
+                raise ValueError(
+                    f"{self.path} holds an unsupported sharded-store layout "
+                    f"(version {meta.get('version')!r}); migrate it with "
+                    "'python -m repro.autotune cache-migrate'"
+                )
+
+    @property
+    def uri(self) -> Optional[str]:
+        return f"dir:{self.path}"
+
+    def _ensure_meta(self) -> None:
+        meta_path = self.path / self.META_NAME
+        if not meta_path.exists():
+            _atomic_write_text(
+                meta_path,
+                json.dumps(
+                    {"format": "repro-sharded-store", "version": SHARDED_STORE_VERSION}
+                ),
+            )
+
+    def _entry_path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.path / digest[:2] / f"{digest}.json"
+
+    def _next_seq(self) -> int:
+        self._last_seq = max(time.time_ns(), self._last_seq + 1)
+        return self._last_seq
+
+    def _shard_dirs(self) -> Iterator[Path]:
+        if not self.path.is_dir():
+            return
+        for child in sorted(self.path.iterdir()):
+            if child.is_dir() and len(child.name) == 2:
+                yield child
+
+    def _entry_files(self) -> Iterator[Path]:
+        for shard in self._shard_dirs():
+            for entry in sorted(shard.glob("*.json")):
+                yield entry
+
+    @staticmethod
+    def _read_entry(entry_path: Path) -> Optional[Dict[str, Any]]:
+        try:
+            record = json.loads(entry_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict) or "key" not in record or "value" not in record:
+            return None
+        return record
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        record = self._read_entry(self._entry_path(key))
+        if record is None:
+            return None
+        return dict(record["value"])
+
+    def put(self, key: str, value: Mapping[str, Any]) -> None:
+        entry_path = self._entry_path(key)
+        entry_path.parent.mkdir(parents=True, exist_ok=True)
+        self._ensure_meta()
+        # The rename is already atomic; the shard lock additionally orders a
+        # put against a concurrent prune unlinking the same entry.
+        with _locked(entry_path.parent / ".lock"):
+            # A re-put keeps its original seq: like the dict-backed formats,
+            # updating an entry must not refresh its insertion position (the
+            # only file read is this entry's own — puts stay O(1)).
+            existing = self._read_entry(entry_path)
+            if existing is not None and isinstance(existing.get("seq"), int):
+                seq = existing["seq"]
+            else:
+                seq = self._next_seq()
+            record = {"key": key, "seq": seq, "value": dict(value)}
+            _atomic_write_text(entry_path, json.dumps(record))
+
+    def _sorted_records(self) -> list:
+        records = []
+        for entry_path in self._entry_files():
+            record = self._read_entry(entry_path)
+            if record is not None:
+                records.append((record.get("seq", 0), record["key"], record, entry_path))
+        records.sort(key=lambda item: (item[0], item[1]))
+        return records
+
+    def scan(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        for _seq, key, record, _path in self._sorted_records():
+            yield key, dict(record["value"])
+
+    def prune(self, max_entries: int) -> int:
+        with _locked(self.path / ".lock"):
+            records = self._sorted_records()
+            drop = len(records) - max_entries
+            if drop <= 0:
+                return 0
+            for _seq, _key, record, entry_path in records[:drop]:
+                with _locked(entry_path.parent / ".lock"):
+                    try:
+                        entry_path.unlink()
+                    except OSError:
+                        pass
+            return drop
+
+    def stats(self) -> Dict[str, Any]:
+        entries = 0
+        size = 0
+        shards = 0
+        for shard in self._shard_dirs():
+            in_shard = 0
+            for entry_path in shard.glob("*.json"):
+                in_shard += 1
+                try:
+                    size += entry_path.stat().st_size
+                except OSError:
+                    pass
+            if in_shard:
+                shards += 1
+            entries += in_shard
+        return {
+            "backend": self.backend,
+            "entries": entries,
+            "bytes": size,
+            "shards": shards,
+        }
+
+    def compact(self) -> Dict[str, Any]:
+        """Sweep stray temp files and now-empty shard directories."""
+        removed_tmp = 0
+        removed_dirs = 0
+        with _locked(self.path / ".lock"):
+            for shard in list(self._shard_dirs()):
+                for stray in shard.glob("*.tmp"):
+                    try:
+                        stray.unlink()
+                        removed_tmp += 1
+                    except OSError:
+                        pass
+                remaining = [p for p in shard.iterdir() if p.suffix == ".json"]
+                if not remaining:
+                    for lock_file in shard.glob(".lock"):
+                        try:
+                            lock_file.unlink()
+                        except OSError:
+                            pass
+                    try:
+                        shard.rmdir()
+                        removed_dirs += 1
+                    except OSError:
+                        pass
+        return {"tmp_files_removed": removed_tmp, "empty_shards_removed": removed_dirs}
+
+    def clear(self) -> None:
+        with _locked(self.path / ".lock"):
+            for entry_path in list(self._entry_files()):
+                try:
+                    entry_path.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_files())
+
+    def __contains__(self, key: str) -> bool:
+        return self._entry_path(key).exists()
+
+
+class AppendLogStore(CacheStore):
+    """Append-only JSONL log with an in-memory index and auto-compaction.
+
+    Every mutation is one appended line — ``{"op": "put", ...}`` or
+    ``{"op": "del", ...}`` — written under the exclusive log lock, so a put
+    costs O(1) regardless of how many entries the log holds.  Readers replay
+    only the *tail* they have not seen (tracked by byte offset and inode, so
+    a compaction by another process triggers a clean full re-replay).
+
+    Recovery rules make a crash-truncated tail harmless: a final chunk
+    without a newline is left pending (re-examined on the next replay, and
+    terminated by the next writer before it appends), and any complete line
+    that fails to parse is skipped and counted, never fatal.
+
+    Compaction rewrites the log as one put line per live entry — in
+    insertion order, preserving ``prune`` semantics — and is triggered
+    automatically when the log exceeds ``auto_compact_bytes`` *and* dead
+    records outnumber live entries ``auto_compact_ratio`` times over.
+    """
+
+    backend = "log"
+
+    def __init__(
+        self,
+        path: StorePath,
+        auto_compact_bytes: int = 1 << 20,
+        auto_compact_ratio: int = 4,
+    ) -> None:
+        self.path = Path(path)
+        self.auto_compact_bytes = auto_compact_bytes
+        self.auto_compact_ratio = auto_compact_ratio
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._offset = 0
+        self._ino: Optional[int] = None
+        self._dead_records = 0
+        self._corrupt_lines = 0
+        self._compactions = 0
+        self._replay()
+
+    @property
+    def uri(self) -> Optional[str]:
+        return f"log:{self.path}"
+
+    def _lock_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".lock")
+
+    def _reset(self) -> None:
+        self._entries = {}
+        self._offset = 0
+        self._dead_records = 0
+        self._corrupt_lines = 0
+
+    def _apply(self, record: Mapping[str, Any]) -> None:
+        op = record.get("op")
+        if op == "put" and "key" in record and isinstance(record.get("value"), dict):
+            key = str(record["key"])
+            if key in self._entries:
+                self._dead_records += 1
+            self._entries[key] = dict(record["value"])
+        elif op == "del" and "key" in record:
+            if self._entries.pop(str(record["key"]), None) is not None:
+                self._dead_records += 2  # the del line and the put it killed
+        elif op == "clear":
+            self._dead_records += len(self._entries) + 1
+            self._entries = {}
+        else:
+            self._corrupt_lines += 1
+
+    def _replay(self) -> None:
+        """Catch the in-memory index up with the log's unseen tail."""
+        try:
+            stat = self.path.stat()
+        except OSError:
+            self._reset()
+            self._ino = None
+            return
+        if stat.st_ino != self._ino or stat.st_size < self._offset:
+            # Compacted (new inode) or truncated underneath us: start over.
+            self._reset()
+            self._ino = stat.st_ino
+        if stat.st_size == self._offset:
+            return
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+        consumed = 0
+        while True:
+            newline = chunk.find(b"\n", consumed)
+            if newline < 0:
+                break  # incomplete tail line: leave pending for the next replay
+            line = chunk[consumed:newline].strip()
+            consumed = newline + 1
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                self._corrupt_lines += 1
+                continue
+            if isinstance(record, dict):
+                self._apply(record)
+            else:
+                self._corrupt_lines += 1
+        self._offset += consumed
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        """One record line, under the log lock, tail-terminating if needed."""
+        line = json.dumps(record, separators=(",", ":")).encode("utf-8") + b"\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with _locked(self._lock_path()):
+            self._replay()
+            needs_newline = False
+            try:
+                with open(self.path, "rb") as peek:
+                    peek.seek(-1, os.SEEK_END)
+                    needs_newline = peek.read(1) != b"\n"
+            except (OSError, ValueError):
+                needs_newline = False  # missing or empty file
+            with open(self.path, "ab") as handle:
+                if needs_newline:
+                    # A crash left a partial final line: terminate it so it
+                    # becomes one skippable corrupt line instead of fusing
+                    # with our record.
+                    handle.write(b"\n")
+                handle.write(line)
+                handle.flush()
+                size = handle.tell()
+            self._apply(record)
+            # Our record is the last consumed line; any terminated partial
+            # tail before it was just counted as corrupt by _apply's replay
+            # predecessor, so the whole file is now processed.
+            self._offset = size
+            if self._ino is None:
+                self._ino = self.path.stat().st_ino
+            if (
+                size >= self.auto_compact_bytes
+                and self._dead_records
+                >= self.auto_compact_ratio * max(1, len(self._entries))
+            ):
+                self._compact_locked()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        value = self._entries.get(key)
+        if value is not None:
+            return dict(value)
+        self._replay()  # pick up appends by other processes
+        value = self._entries.get(key)
+        return dict(value) if value is not None else None
+
+    def put(self, key: str, value: Mapping[str, Any]) -> None:
+        self._append({"op": "put", "key": key, "value": dict(value)})
+
+    def scan(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        self._replay()
+        for key, value in list(self._entries.items()):
+            yield key, dict(value)
+
+    def prune(self, max_entries: int) -> int:
+        with _locked(self._lock_path()):
+            self._replay()
+            drop = len(self._entries) - max_entries
+            if drop <= 0:
+                return 0
+            for key in list(self._entries)[:drop]:
+                del self._entries[key]
+            self._compact_locked()
+            return drop
+
+    def _compact_locked(self) -> None:
+        """Rewrite the log as the live entries only; caller holds the lock."""
+        lines = [
+            json.dumps({"op": "put", "key": key, "value": value}, separators=(",", ":"))
+            for key, value in self._entries.items()
+        ]
+        text = "".join(line + "\n" for line in lines)
+        _atomic_write_text(self.path, text)
+        self._offset = len(text.encode("utf-8"))
+        self._ino = self.path.stat().st_ino
+        self._dead_records = 0
+        self._corrupt_lines = 0
+        self._compactions += 1
+
+    def compact(self) -> Dict[str, Any]:
+        with _locked(self._lock_path()):
+            self._replay()
+            before = 0
+            try:
+                before = self.path.stat().st_size
+            except OSError:
+                pass
+            self._compact_locked()
+            after = self.path.stat().st_size
+        return {"bytes_before": before, "bytes_after": after}
+
+    def stats(self) -> Dict[str, Any]:
+        self._replay()  # count appends by other processes, not a stale index
+        size = 0
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        return {
+            "backend": self.backend,
+            "entries": len(self._entries),
+            "bytes": size,
+            "segments": 1,  # one active segment; compaction rewrites in place
+            "dead_records": self._dead_records,
+            "corrupt_lines": self._corrupt_lines,
+            "compactions": self._compactions,
+        }
+
+    def clear(self) -> None:
+        with _locked(self._lock_path()):
+            self._replay()
+            self._entries = {}
+            self._compact_locked()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+#: URI schemes understood by :func:`parse_store_uri`
+_SCHEMES = {
+    "json": "json",
+    "dir": "sharded",
+    "log": "log",
+    "mem": "memory",
+    "memory": "memory",
+}
+
+
+def parse_store_uri(spec: Optional[StorePath]) -> Tuple[str, Optional[str]]:
+    """Resolve a cache spec to ``(backend, location)``.
+
+    Explicit schemes win: ``json:PATH``, ``dir:PATH``, ``log:PATH``,
+    ``mem:``.  Without one, an existing directory (or a trailing separator)
+    selects the sharded store, a ``.jsonl``/``.log`` suffix the append log,
+    and anything else the legacy single JSON file.  An unrecognised scheme
+    is an error rather than a silently-misparsed filename (single letters
+    are exempt — Windows drive prefixes).
+    """
+    if spec is None:
+        return "memory", None
+    text = os.fspath(spec) if not isinstance(spec, str) else spec
+    text = str(text)
+    scheme, sep, rest = text.partition(":")
+    if sep:
+        lowered = scheme.lower()
+        if lowered in _SCHEMES:
+            backend = _SCHEMES[lowered]
+            if backend == "memory":
+                return "memory", None
+            if not rest:
+                raise ValueError(f"cache store URI {text!r} is missing a path")
+            return backend, rest
+        # Anything shaped like a URI scheme (RFC 3986: letter, then
+        # letters/digits/+/-/.) but unknown is an error, not a filename;
+        # single letters stay exempt — Windows drive prefixes.
+        if len(scheme) > 1 and re.fullmatch(r"[A-Za-z][A-Za-z0-9+.-]*", scheme):
+            raise ValueError(
+                f"unknown cache store scheme {scheme!r} in {text!r}; "
+                f"expected one of {sorted(set(_SCHEMES))} or a plain path"
+            )
+    if text.endswith(("/", os.sep)):
+        return "sharded", text.rstrip("/" + os.sep) or "/"
+    if Path(text).is_dir():
+        return "sharded", text
+    if text.endswith((".jsonl", ".log")):
+        return "log", text
+    return "json", text
+
+
+def open_store(spec: Optional[StorePath]) -> CacheStore:
+    """Open the backend a cache spec names (see :func:`parse_store_uri`)."""
+    if isinstance(spec, CacheStore):
+        return spec
+    backend, location = parse_store_uri(spec)
+    if backend == "memory":
+        return MemoryStore()
+    if backend == "sharded":
+        return ShardedStore(location)
+    if backend == "log":
+        return AppendLogStore(location)
+    return JsonFileStore(location)
+
+
+def migrate_store(
+    src: Union[CacheStore, StorePath],
+    dst: Union[CacheStore, StorePath],
+    force: bool = False,
+) -> Dict[str, Any]:
+    """Copy every entry of ``src`` into ``dst``, preserving insertion order.
+
+    Works between any two backends (v2 JSON ↔ sharded ↔ append-log).  The
+    destination must be empty unless ``force`` clears it first; entry counts
+    are verified after the copy so a partial migration cannot masquerade as
+    a complete one.  Returns ``{"entries", "src", "dst", ...}``.
+    """
+    src_store = open_store(src)
+    dst_store = open_store(dst)
+    if src_store.path is not None and dst_store.path is not None:
+        # resolve() so aliases (relative vs absolute, ./x, symlinks) cannot
+        # slip past the guard and let --force clear the source
+        if src_store.path.resolve() == dst_store.path.resolve():
+            raise ValueError(
+                f"source and destination are the same store: {src_store.uri}"
+            )
+    existing = len(dst_store)
+    if existing:
+        if not force:
+            raise ValueError(
+                f"destination {dst_store.uri or 'memory'} already holds "
+                f"{existing} entries; pass force to overwrite"
+            )
+        dst_store.clear()
+    copied = 0
+    for key, value in src_store.scan():
+        dst_store.put(key, value)
+        copied += 1
+    src_count = sum(1 for _ in src_store.scan())
+    dst_count = len(dst_store)
+    if dst_count != copied or src_count != copied:
+        raise RuntimeError(
+            f"migration verification failed: copied {copied} entries but the "
+            f"source now scans {src_count} and the destination holds {dst_count}"
+        )
+    return {
+        "entries": copied,
+        "src": src_store.uri,
+        "dst": dst_store.uri,
+        "src_backend": src_store.backend,
+        "dst_backend": dst_store.backend,
+    }

@@ -25,7 +25,7 @@ from repro.autotune.cli import parse_sizes
 from repro.autotune.search import EXECUTORS, STRATEGIES
 from repro.autotune.session import TuningReport
 from repro.service.client import ServiceError, TuningClient
-from repro.service.protocol import TuneRequest
+from repro.service.protocol import TuneRequest, ordered_cache_stats
 from repro.service.server import TuningServer
 
 DEFAULT_URL = "http://127.0.0.1:8037"
@@ -54,8 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache",
         default=".repro-service-cache.json",
-        metavar="PATH",
-        help="shared persistent cache file (default: .repro-service-cache.json)",
+        metavar="STORE",
+        help="shared persistent cache store: PATH.json (legacy single file), "
+        "dir:DIR (sharded, O(1) puts), or log:FILE (append-only log) "
+        "(default: .repro-service-cache.json)",
     )
 
     submit = commands.add_parser("submit", help="submit one tuning request")
@@ -181,7 +183,12 @@ def _status(args: argparse.Namespace) -> int:
 
 def _stats(args: argparse.Namespace) -> int:
     stats = TuningClient(args.url).cache_stats()
-    for section in ("cache", "server", "jobs"):
+    print("cache:")
+    # common fields first, then the backend's own gauges (shards, segments,
+    # compactions, tombstones, ...) in a stable order
+    for key, value in ordered_cache_stats(stats["cache"]):
+        print(f"  {key}: {value}")
+    for section in ("server", "jobs"):
         print(f"{section}:")
         for key, value in stats[section].items():
             print(f"  {key}: {value}")

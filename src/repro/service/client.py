@@ -185,7 +185,18 @@ class TuningClient:
         return self._call("GET", "/healthz")
 
     def cache_stats(self) -> Dict[str, Any]:
+        """The server's ``/cache/stats`` payload.
+
+        The ``cache`` section identifies the persistence backend
+        (``backend``: ``json`` | ``sharded`` | ``log`` | ``memory``) and its
+        gauges next to the common entry/byte/hit/miss counters — render it
+        with :func:`repro.service.protocol.ordered_cache_stats`.
+        """
         return self._call("GET", "/cache/stats")
+
+    def cache_backend(self) -> str:
+        """The server cache's persistence backend name (one HTTP round trip)."""
+        return str(self.cache_stats()["cache"].get("backend", "json"))
 
     def kernels(self) -> Dict[str, Any]:
         return self._call("GET", "/kernels")

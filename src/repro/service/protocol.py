@@ -11,6 +11,13 @@ shared cache without starting a tuning run.
 
 :class:`JobRecord` is the server-side state of one accepted request, returned
 by ``GET /status/<job>``.
+
+The ``cache`` section of ``GET /cache/stats`` always carries
+:data:`CACHE_STATS_COMMON_FIELDS`; everything else is a backend-specific
+gauge (``shards`` for the sharded store, ``segments``/``compactions``/
+``dead_records`` for the append log, ``tombstones`` for the legacy JSON
+file).  :func:`ordered_cache_stats` gives clients and CLIs a stable render
+order without having to know every backend.
 """
 
 from __future__ import annotations
@@ -18,6 +25,19 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional
+
+# The stats schema is owned by the store layer (the producer); re-exported
+# here because it is also the wire contract of GET /cache/stats.
+from repro.autotune.store import CACHE_STATS_COMMON_FIELDS, ordered_cache_stats
+
+__all__ = [
+    "CACHE_STATS_COMMON_FIELDS",
+    "FINISHED_STATES",
+    "JobRecord",
+    "ResolvedRequest",
+    "TuneRequest",
+    "ordered_cache_stats",
+]
 
 from repro.core.options import MappingOptions
 from repro.ir.program import Program

@@ -151,12 +151,13 @@ class TuningService:
             self._jobs[job.id] = job
             self._inflight[key] = job.id
             # Workers (thread or process) open their own cache instance from
-            # the backing file: a fresh load can pick up entries a *different*
-            # server sharing the file persisted since our pre-check, their
+            # the store URI: a fresh open can pick up entries a *different*
+            # server sharing the store persisted since our pre-check, their
             # counters stay off this instance's books (one counted lookup per
             # request — the submit-time get above), and _finish absorbs the
-            # result back into memory either way.
-            cache_path = str(self.cache.path) if self.cache.path else None
+            # result back into memory either way.  The URI round-trips every
+            # backend (plain .json path, dir: sharded store, log: append log).
+            cache_path = self.cache.uri
             task = partial(
                 execute_request, job.request, cache_path=cache_path, spec=self.spec
             )
@@ -261,6 +262,14 @@ class TuningService:
             return self._draining
 
     def stats(self) -> Dict[str, Any]:
+        """The ``/cache/stats`` payload: cache, server counters, job counts.
+
+        The ``cache`` section carries the persistence backend's identity and
+        gauges (``backend``, ``entries``, ``bytes``, plus e.g. ``shards`` for
+        the sharded store or ``segments``/``compactions`` for the append
+        log) alongside this instance's hit/miss counters — see
+        :data:`repro.service.protocol.CACHE_STATS_COMMON_FIELDS`.
+        """
         with self._lock:
             counters = dict(self.counters)
         return {"cache": self.cache.stats(), "server": counters, "jobs": self.job_counts()}
@@ -270,7 +279,8 @@ class TuningService:
             "status": "draining" if self.draining else "ok",
             "executor": self.executor,
             "workers": self.max_workers,
-            "cache_path": str(self.cache.path) if self.cache.path else None,
+            "cache_path": self.cache.uri,
+            "cache_backend": self.cache.backend,
             "jobs": self.job_counts(),
         }
 

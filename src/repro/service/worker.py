@@ -3,9 +3,9 @@
 Module-level and fully picklable, so the server can submit it to a
 ``ProcessPoolExecutor`` (cold tuning escapes the GIL) or a thread pool (used
 by in-process tests, where the shared :data:`COMPILE_COUNTER` stays
-observable).  A worker process reopens the shared cache file by path; the
-cache's file lock makes its read-merge-write persistence safe against the
-other workers.
+observable).  A worker process reopens the shared cache by its store URI
+(plain ``.json`` path, ``dir:`` sharded store, or ``log:`` append log); the
+backend's file locks make its persistence safe against the other workers.
 """
 
 from __future__ import annotations
@@ -27,8 +27,9 @@ def execute_request(
     """Run one tuning request to completion; returns the job-completion payload.
 
     Workers (thread *and* process) reopen the shared cache from
-    ``cache_path``, picking up entries other servers persisted since the
-    pre-enqueue check; server-side warm hits never reach a worker at all.
+    ``cache_path`` — any store URI :class:`TuningCache` accepts — picking up
+    entries other servers persisted since the pre-enqueue check; server-side
+    warm hits never reach a worker at all.
     The returned ``compiles`` counts the pipeline compiles this request
     performed in the executing process: exactly 0 for a warm cache hit, and
     — because the underlying counter is process-global — an upper bound when

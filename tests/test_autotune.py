@@ -305,7 +305,10 @@ class TestTuningCache:
 
     def test_stats_reports_entries_bytes_and_counters(self, tmp_path):
         cache = TuningCache(tmp_path / "cache.json")
-        assert cache.stats() == {"entries": 0, "bytes": 0, "hits": 0, "misses": 0}
+        fresh = cache.stats()
+        assert fresh["backend"] == "json"
+        assert fresh["entries"] == 0 and fresh["bytes"] == 0
+        assert fresh["hits"] == 0 and fresh["misses"] == 0
         cache.put("k", {"v": 1})
         cache.get("k")
         cache.get("missing")
@@ -356,10 +359,10 @@ class TestTuningCache:
         assert not path.exists()
 
     def test_missing_fcntl_warns_once_per_process(self, tmp_path, monkeypatch):
-        from repro.autotune import cache as cache_module
+        from repro.autotune import store as store_module
 
-        monkeypatch.setattr(cache_module, "fcntl", None)
-        monkeypatch.setattr(cache_module, "_warned_unlocked", False)
+        monkeypatch.setattr(store_module, "fcntl", None)
+        monkeypatch.setattr(store_module, "_warned_unlocked", False)
         cache = TuningCache(tmp_path / "cache.json")
         with pytest.warns(RuntimeWarning, match="without inter-process file locking"):
             cache.put("a", {"v": 1})

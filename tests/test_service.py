@@ -252,6 +252,64 @@ class TestHTTPServer:
         assert COMPILE_COUNTER.count == start
         assert job["report"] == first.job()["report"]
 
+    def test_cache_stats_report_backend_identity(self, thread_server):
+        """/cache/stats names the persistence backend next to the counters."""
+        stats = TuningClient(thread_server.url).cache_stats()["cache"]
+        assert stats["backend"] == "memory"  # the fixture server has no path
+        for field in ("entries", "bytes", "hits", "misses"):
+            assert field in stats
+        assert TuningClient(thread_server.url).cache_backend() == "memory"
+
+    def test_server_runs_on_a_sharded_store(self, tmp_path):
+        """A dir: store URI threads through server, worker, and /cache/stats."""
+        from repro.service.protocol import ordered_cache_stats
+
+        spec = f"dir:{tmp_path / 'cache-dir'}"
+        server = TuningServer(
+            port=0, executor="thread", max_workers=2, cache=spec
+        ).start()
+        try:
+            client = TuningClient(server.url)
+            health = client.healthz()
+            assert health["cache_backend"] == "sharded"
+            assert health["cache_path"] == spec
+            request = matmul_request(m=24)
+            client.tune(request, timeout=300)
+            cache_stats = client.cache_stats()["cache"]
+            assert cache_stats["backend"] == "sharded"
+            assert cache_stats["entries"] == 1
+            assert cache_stats["shards"] == 1
+            # the render helper puts common fields first, gauges after
+            rendered = [name for name, _ in ordered_cache_stats(cache_stats)]
+            assert rendered[:3] == ["backend", "entries", "bytes"]
+            assert "shards" in rendered[3:]
+            # the worker persisted through the sharded store: a fresh cache
+            # instance (different process in production) starts warm
+            assert request.resolve().fingerprint in TuningCache(spec)
+        finally:
+            server.stop()
+
+    def test_server_on_log_store_counts_worker_entries(self, tmp_path):
+        """Regression: /cache/stats must see entries workers appended to the log.
+
+        The worker persists through its *own* store instance; the server's
+        index is stale until it resyncs, and the absorbed overlay must count
+        toward ``entries`` either way.
+        """
+        spec = f"log:{tmp_path / 'cache.log'}"
+        server = TuningServer(
+            port=0, executor="thread", max_workers=2, cache=spec
+        ).start()
+        try:
+            client = TuningClient(server.url)
+            client.tune(matmul_request(m=24), timeout=300)
+            stats = client.cache_stats()["cache"]
+            assert stats["backend"] == "log"
+            assert stats["entries"] == 1
+            assert stats["segments"] == 1
+        finally:
+            server.stop()
+
     def test_evicted_job_is_recovered_by_cached_resubmission(self, thread_server):
         """A finished job evicted before its waiter polled is not a lost report."""
         client = TuningClient(thread_server.url)
