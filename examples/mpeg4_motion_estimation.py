@@ -10,7 +10,7 @@ Run with:  python examples/mpeg4_motion_estimation.py
 
 import numpy as np
 
-from repro import MappingOptions, MappingPipeline, run_program, simulate_cpu, simulate_gpu
+from repro import CompilationSession, MappingOptions, run_program, simulate_cpu, simulate_gpu
 from repro.kernels import ME_PROBLEM_SIZES, MEWorkloadModel, build_me_program
 
 
@@ -20,7 +20,7 @@ def compile_and_verify() -> None:
     options = MappingOptions(
         num_blocks=4, threads_per_block=16, tile_sizes={"i": 8, "j": 8, "k": 4, "l": 4}
     )
-    mapped = MappingPipeline(options=options).compile(program)
+    mapped = CompilationSession(program, options=options).compile()
     print(mapped.plan.summary())
     print(f"launch geometry: {mapped.geometry}")
 

@@ -11,7 +11,9 @@ Public API highlights
 * :func:`repro.tiling.tile_program` and
   :func:`repro.tiling.search_tile_sizes` — multi-level tiling and the
   tile-size search (Section 4).
-* :class:`repro.core.MappingPipeline` — the end-to-end compiler.
+* :class:`repro.compiler.CompilationSession` — the end-to-end compiler as a
+  staged pass pipeline with inspectable artifacts and replay-from-stage
+  (:class:`repro.core.MappingPipeline` remains as a deprecated shim).
 * :func:`repro.autotune.autotune` — empirical autotuning with parallel
   (thread or process) evaluation and a persistent compilation cache.
 * :mod:`repro.service` — the autotuner served as a long-lived multi-process
@@ -28,6 +30,14 @@ from repro.autotune import (
     autotune,
     autotune_batch,
     tuning_fingerprint,
+)
+from repro.compiler import (
+    CompilationSession,
+    Pass,
+    PassManager,
+    STAGE_COUNTER,
+    StageArtifact,
+    counting_stage_runs,
 )
 from repro.core import (
     COMPILE_COUNTER,
@@ -53,11 +63,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "COMPILE_COUNTER",
+    "CompilationSession",
+    "Pass",
+    "PassManager",
+    "STAGE_COUNTER",
+    "StageArtifact",
     "TuningCache",
     "TuningReport",
     "autotune",
     "autotune_batch",
     "counting_compiles",
+    "counting_stage_runs",
     "tuning_fingerprint",
     "MappedKernel",
     "MappingOptions",

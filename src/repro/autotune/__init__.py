@@ -7,9 +7,10 @@ machine.  This package supplies that empirical layer as a reusable service:
 * :mod:`repro.autotune.space` — declarative configuration space (tile sizes,
   launch geometry, scratchpad staging) seeded by the SLSQP relaxed optimum
   and pruned by the cost model and scratchpad capacity;
-* :mod:`repro.autotune.evaluate` — prices a configuration via
-  :meth:`MappingPipeline.compile_with_config` and the machine models, with
-  optional interpreter correctness spot-checks;
+* :mod:`repro.autotune.evaluate` — prices a configuration by replaying it
+  through a shared :class:`repro.compiler.CompilationSession` (affine
+  analysis runs once per request, candidates replay from the tiling stage)
+  and the machine models, with optional interpreter correctness spot-checks;
 * :mod:`repro.autotune.search` — exhaustive / pruned-grid / random-restart
   hill-climb strategies with order-preserving parallel evaluation;
 * :mod:`repro.autotune.cache` — persistent fingerprint-keyed cache facade, so

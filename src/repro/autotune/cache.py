@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+from collections import OrderedDict
 from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
@@ -92,15 +93,30 @@ class TuningCache:
     sharing an instance (the tuning service's thread-executor mode), while
     the backends' ``fcntl`` file locks serialise *processes* sharing the
     backing files.
+
+    ``absorb_limit`` bounds the in-memory absorb overlay (least-recently-used
+    entries are evicted first), so a long-lived server absorbing every
+    finished job keeps flat resident memory; evicted entries remain served
+    from the backing store their producer persisted them to.
     """
 
-    def __init__(self, path: Union[CacheStore, str, Path, None] = None) -> None:
+    def __init__(
+        self,
+        path: Union[CacheStore, str, Path, None] = None,
+        absorb_limit: int = 256,
+    ) -> None:
+        if absorb_limit < 0:
+            raise ValueError(
+                f"absorb_limit cannot be negative, got {absorb_limit!r}"
+            )
         self.store = open_store(path)
         self.hits = 0
         self.misses = 0
+        self.absorb_limit = absorb_limit
         #: results absorbed from other processes: visible to get(), never
-        #: persisted by this instance (the producer already persisted them)
-        self._absorbed: Dict[str, Dict[str, Any]] = {}
+        #: persisted by this instance (the producer already persisted them);
+        #: ordered oldest-use-first so the LRU bound evicts from the front
+        self._absorbed: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._mutex = threading.Lock()
 
     # -- identity ------------------------------------------------------------------
@@ -146,6 +162,7 @@ class TuningCache:
     def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
         entry = self._absorbed.get(key)
         if entry is not None:
+            self._absorbed.move_to_end(key)  # LRU touch
             return entry
         return self.store.get(key)
 
@@ -155,18 +172,34 @@ class TuningCache:
             self._absorbed.pop(key, None)
             self.store.put(key, dict(value))
 
+    def set_absorb_limit(self, absorb_limit: int) -> None:
+        """Re-bound the absorb overlay, evicting LRU entries beyond it."""
+        if absorb_limit < 0:
+            raise ValueError(
+                f"absorb_limit cannot be negative, got {absorb_limit!r}"
+            )
+        with self._mutex:
+            self.absorb_limit = absorb_limit
+            while len(self._absorbed) > self.absorb_limit:
+                self._absorbed.popitem(last=False)
+
     def absorb(self, key: str, value: Mapping[str, Any]) -> None:
         """Store a report in memory *without* persisting.
 
         For results another process already wrote to the backing store (the
         tuning service's worker processes): the entry becomes visible to this
-        instance's :meth:`get` without a redundant persistence cycle.
+        instance's :meth:`get` without a redundant persistence cycle.  The
+        overlay is LRU-bounded by ``absorb_limit``: evicting an entry only
+        means the next lookup re-reads it from the backing store.
         """
         with self._mutex:
             if self.store.path is None:
                 self.store.put(key, dict(value))
-            else:
-                self._absorbed[key] = dict(value)
+                return
+            self._absorbed[key] = dict(value)
+            self._absorbed.move_to_end(key)
+            while len(self._absorbed) > self.absorb_limit:
+                self._absorbed.popitem(last=False)
 
     def __contains__(self, key: str) -> bool:
         with self._mutex:
@@ -198,9 +231,9 @@ class TuningCache:
             if dropped and self._absorbed:
                 # absorbed entries were persisted by other processes; any the
                 # prune deleted must stop being served from the overlay too
-                self._absorbed = {
-                    k: v for k, v in self._absorbed.items() if k in self.store
-                }
+                self._absorbed = OrderedDict(
+                    (k, v) for k, v in self._absorbed.items() if k in self.store
+                )
             return dropped
 
     def scan(self):
@@ -227,6 +260,8 @@ class TuningCache:
             base["entries"] += sum(
                 1 for key in self._absorbed if key not in self.store
             )
+            base["absorbed"] = len(self._absorbed)
+            base["absorb_limit"] = self.absorb_limit
             base["hits"] = self.hits
             base["misses"] = self.misses
         return base

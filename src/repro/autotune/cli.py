@@ -20,6 +20,11 @@ maintenance subcommands::
     python -m repro.autotune cache-stats --cache .autotune-cache.json
     python -m repro.autotune cache-prune --cache dir:.autotune-cache --max-entries 64
     python -m repro.autotune cache-migrate .autotune-cache.json dir:.autotune-cache
+
+Inspect the staged compiler (per-stage timings, artifact fingerprints, and
+the replay-from-stage reuse) for one kernel::
+
+    python -m repro.autotune inspect-stages matmul --size m=256 n=256 k=256
 """
 
 from __future__ import annotations
@@ -29,13 +34,13 @@ import sys
 import warnings
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.pipeline import counting_compiles
+from repro.compiler import CompilationSession, counting_compiles
 from repro.kernels.registry import available_kernels, get_kernel
 from repro.autotune.cache import TuningCache
 from repro.autotune.store import migrate_store, ordered_cache_stats
 from repro.autotune.search import EXECUTORS, STRATEGIES, ExecutorFallbackWarning
 from repro.autotune.session import autotune
-from repro.autotune.space import SpaceOptions
+from repro.autotune.space import Configuration, SpaceOptions
 
 
 def parse_sizes(pairs: Sequence[str]) -> Dict[str, int]:
@@ -59,6 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.autotune",
         description="Empirically autotune a kernel's mapping on the machine models.",
         epilog="maintenance subcommands (dispatched before tuning arguments): "
+        "'inspect-stages KERNEL' shows the staged compiler's per-stage "
+        "timings and artifact fingerprints; "
         "'cache-stats --cache STORE' prints cache statistics; "
         "'cache-prune --cache STORE --max-entries N' drops the oldest entries; "
         "'cache-migrate SRC DST' converts between backends "
@@ -214,8 +221,71 @@ def cache_migrate_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def inspect_stages_main(argv: Sequence[str]) -> int:
+    """``inspect-stages KERNEL``: per-stage timings and artifact fingerprints.
+
+    Compiles the kernel once through a staged
+    :class:`~repro.compiler.CompilationSession`, then replays the chosen
+    mapping from the tiling stage — the table shows the config-invariant
+    ``analysis`` stage executing once for both compilations while the
+    config-dependent stages ran twice.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.autotune inspect-stages",
+        description="Show per-stage timings and artifact fingerprints of the "
+        "staged compiler for one kernel (one cold compile + one replay).",
+    )
+    parser.add_argument("kernel", help="registered kernel name")
+    parser.add_argument(
+        "--size",
+        nargs="*",
+        default=[],
+        metavar="NAME=VALUE",
+        help="problem-size overrides, e.g. --size m=256 n=256 k=256",
+    )
+    args = parser.parse_args(argv)
+    try:
+        kernel = get_kernel(args.kernel)
+        sizes = parse_sizes(args.size)
+        program = kernel.build(**sizes)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    session = CompilationSession(program)
+    mapped = session.compile()
+    config = Configuration.from_options(session.options, mapped.tile_sizes)
+    session.replay(from_stage="tiling", config=config)
+
+    geometry = mapped.geometry
+    tiles = ",".join(f"{k}={v}" for k, v in sorted(mapped.tile_sizes.items()))
+    print(
+        f"kernel {args.kernel}: blocks={geometry.num_blocks} "
+        f"threads={geometry.threads_per_block} tiles[{tiles}] "
+        f"shared={geometry.shared_memory_per_block_bytes}B"
+    )
+    print(f"session {session.base_fingerprint[:12]} (program+params+spec identity)")
+    print(f"{'stage':<12} {'kind':<10} {'runs':>4} {'total_ms':>9} {'mean_ms':>8}  fingerprint")
+    for row in session.stage_report():
+        kind = "config" if row["config_dependent"] else "invariant"
+        print(
+            f"{row['stage']:<12} {kind:<10} {row['runs']:>4} "
+            f"{row['total_ms']:>9.2f} {row['mean_ms']:>8.2f}  {row['fingerprint']}"
+        )
+    report = {row["stage"]: row["runs"] for row in session.stage_report()}
+    print(
+        f"replay reused the frozen analysis artifact: analysis ran "
+        f"{report.get('analysis', 0)}x for 2 end-to-end compilations "
+        f"(tiling ran {report.get('tiling', 0)}x)"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "inspect-stages":
+        return inspect_stages_main(argv[1:])
     if argv and argv[0] == "cache-stats":
         return cache_stats_main(argv[1:])
     if argv and argv[0] == "cache-prune":

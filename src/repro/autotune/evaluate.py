@@ -1,11 +1,17 @@
 """Pricing (and optionally verifying) one mapping configuration.
 
 An evaluation replays a :class:`~repro.autotune.space.Configuration` through
-:meth:`MappingPipeline.compile_with_config` — no tile-size search — and prices
-the resulting launch on the GPU performance model, standing in for a run on
-the paper's GeForce 8800 GTX.  Configurations the machine cannot execute
-(e.g. a block's buffers exceed the scratchpad) come back infeasible rather
-than raising, so search strategies can treat the evaluator as total.
+a shared :class:`repro.compiler.CompilationSession` —
+``session.replay(from_stage="tiling", config=...)`` — and prices the
+resulting launch on the GPU performance model, standing in for a run on the
+paper's GeForce 8800 GTX.  Because the session freezes the config-invariant
+affine-analysis artifacts, a tuning request analyses the program **once** and
+every candidate replays only the tiling/scratchpad/mapping stages (set
+``reuse_analysis=False`` to recover the legacy one-monolithic-compile-per-
+candidate behaviour, e.g. for benchmarking the difference).  Configurations
+the machine cannot execute (e.g. a block's buffers exceed the scratchpad)
+come back infeasible rather than raising, so search strategies can treat the
+evaluator as total.
 
 With ``check_correctness`` enabled the mapped program is additionally run
 through the reference interpreter against the original program on small
@@ -14,13 +20,14 @@ seeded random inputs — the same oracle the repo's transformation tests use.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro.compiler import CompilationSession
 from repro.core.options import MappingOptions
-from repro.core.pipeline import MappingPipeline
 from repro.ir.program import Program
 from repro.machine.gpu import GPUPerformanceModel, KernelLaunch
 from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
@@ -80,10 +87,19 @@ class ConfigurationEvaluator:
         check_correctness: bool = False,
         check_program: Optional[Program] = None,
         seed: int = 0,
+        session: Optional[CompilationSession] = None,
+        reuse_analysis: bool = True,
     ) -> None:
         """``check_program``: a small-size twin of ``program`` to verify
         functionally (defaults to ``program`` itself — only sensible when the
-        problem is small enough for the interpreter)."""
+        problem is small enough for the interpreter).
+
+        ``session``: an existing :class:`CompilationSession` whose frozen
+        analysis artifacts the evaluations should reuse (one is created
+        lazily otherwise).  ``reuse_analysis=False`` compiles every
+        configuration from a cold session — the legacy monolithic
+        ``compile_with_config`` cost model, kept for benchmarking.
+        """
         self.program = program
         self.spec = spec
         self.param_values = dict(param_values or {})
@@ -91,13 +107,55 @@ class ConfigurationEvaluator:
         self.check_correctness = check_correctness
         self.check_program = check_program or program
         self.seed = seed
+        self.reuse_analysis = reuse_analysis
         self._model = GPUPerformanceModel(spec)
+        self._session = session
+        self._check_session: Optional[CompilationSession] = None
+        self._lock = threading.Lock()
+
+    # The sessions travel with the evaluator to process-pool workers (they
+    # pickle minus their locks), frozen analysis artifacts included — a
+    # worker replays candidates without ever re-running the analysis stage.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def _fresh_session(
+        self, program: Program, with_params: bool = True
+    ) -> CompilationSession:
+        return CompilationSession(
+            program,
+            spec=self.spec,
+            options=self.base_options,
+            param_values=self.param_values if with_params else None,
+        )
+
+    @property
+    def session(self) -> CompilationSession:
+        """The shared compilation session (created lazily, thread-safe)."""
+        with self._lock:
+            if self._session is None:
+                self._session = self._fresh_session(self.program)
+            return self._session
+
+    def _compile(self, config: Configuration):
+        if self.reuse_analysis:
+            return self.session.replay(from_stage="tiling", config=config)
+        # Legacy cost model: a cold session per candidate re-runs every
+        # stage, exactly like the old monolithic compile_with_config.
+        return self._fresh_session(self.program).replay(
+            from_stage="analysis", config=config
+        )
 
     def evaluate(self, config: Configuration) -> EvaluationResult:
         """Compile, price, and optionally spot-check one configuration."""
-        pipeline = MappingPipeline(spec=self.spec, options=self.base_options)
         try:
-            mapped = pipeline.compile_with_config(self.program, config, self.param_values)
+            mapped = self._compile(config)
             launch = KernelLaunch(
                 workload=mapped.workload,
                 geometry=mapped.geometry,
@@ -127,8 +185,13 @@ class ConfigurationEvaluator:
     def spot_check(self, config: Configuration) -> bool:
         """Interpret the mapped small-size program against the reference."""
         program = self.check_program
-        pipeline = MappingPipeline(spec=self.spec, options=self.base_options)
-        mapped = pipeline.compile_with_config(program, config)
+        with self._lock:
+            if self._check_session is None:
+                # The spot-check always runs at the check program's default
+                # parameters (it must stay small enough to interpret).
+                self._check_session = self._fresh_session(program, with_params=False)
+            session = self._check_session
+        mapped = session.replay(from_stage="tiling", config=config)
         inputs = self._random_inputs(program)
         reference = run_program(program, inputs={k: v.copy() for k, v in inputs.items()})
         transformed = run_program(

@@ -1,10 +1,12 @@
 """The public autotuning API: :func:`autotune` and :func:`autotune_batch`.
 
-One call turns the one-shot mapping pipeline into an empirical tuning
-service: build the model-pruned configuration space, evaluate candidates
-(optionally in parallel) on the machine models, and return a
-:class:`TuningReport` whose best configuration can be replayed directly via
-:meth:`MappingPipeline.compile_with_config`.  With a :class:`TuningCache`,
+One call turns the staged compiler into an empirical tuning service: build
+the model-pruned configuration space, evaluate candidates (optionally in
+parallel) by replaying them through one shared
+:class:`repro.compiler.CompilationSession` (affine analysis runs once per
+request, not once per candidate), and return a :class:`TuningReport` whose
+best configuration can be replayed directly via
+:meth:`CompilationSession.replay`.  With a :class:`TuningCache`,
 repeated requests are answered from disk with **zero** pipeline compiles
 (verifiable through :data:`repro.core.pipeline.COMPILE_COUNTER`).
 """
@@ -15,6 +17,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.compiler import CompilationSession
 from repro.core.options import MappingOptions
 from repro.ir.printer import program_to_c
 from repro.ir.program import Program
@@ -123,17 +126,24 @@ def _prepare_request(
 
     Shared by :func:`autotune` and :func:`tuning_fingerprint` so the key the
     tuning service deduplicates on is byte-identical to the key the cache
-    stores under.  Building the space is cheap (band analysis and loop
-    extents — no pipeline compile happens here).
+    stores under.  Building the space is cheap (the session's analysis stage:
+    band analysis and loop extents — no pipeline compile happens here); the
+    same :class:`CompilationSession` later feeds the evaluator, so one
+    request runs affine analysis exactly once however many candidates it
+    evaluates.
     """
     options = options or MappingOptions()
     strategy = resolve_strategy(strategy, seed=seed)
+    compile_session = CompilationSession(
+        program, spec=spec, options=options, param_values=param_values
+    )
     space = ConfigurationSpace(
         program,
         spec=spec,
         param_values=param_values,
         base_options=options,
         space_options=space_options or SpaceOptions(),
+        session=compile_session,
     )
     check_signature: Dict[str, Any] = {"enabled": check_correctness}
     if check_correctness:
@@ -149,7 +159,7 @@ def _prepare_request(
         space.describe(),
         check_signature,
     )
-    return options, strategy, space, key
+    return options, strategy, space, key, compile_session
 
 
 def tuning_fingerprint(
@@ -168,7 +178,7 @@ def tuning_fingerprint(
     Lets callers (notably :mod:`repro.service`) deduplicate identical
     in-flight requests and probe the cache without starting a tuning run.
     """
-    _options, _strategy, _space, key = _prepare_request(
+    _options, _strategy, _space, key, _session = _prepare_request(
         program, spec, param_values, options, strategy, seed,
         space_options, check_correctness, check_program,
     )
@@ -222,7 +232,7 @@ def autotune(
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     if cache is not None and not isinstance(cache, TuningCache):
         cache = TuningCache(cache)
-    options, strategy, space, key = _prepare_request(
+    options, strategy, space, key, compile_session = _prepare_request(
         program, spec, param_values, options, strategy, seed,
         space_options, check_correctness, check_program,
     )
@@ -239,6 +249,7 @@ def autotune(
         check_correctness=check_correctness,
         check_program=check_program,
         seed=seed,
+        session=compile_session,
     )
     with make_batch_evaluator(
         evaluator, max_workers=max_workers, executor=executor

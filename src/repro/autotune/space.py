@@ -23,12 +23,11 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.compiler import CompilationSession, split_across
 from repro.core.options import MappingOptions
-from repro.core.pipeline import MappingPipeline, loop_extents, split_across
 from repro.ir.program import Program
 from repro.machine.memory import MemoryModel
 from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
-from repro.tiling.bands import analyze_bands
 from repro.tiling.cost_model import DataMovementCostModel
 from repro.tiling.tile_search import (
     TileSearchProblem,
@@ -149,14 +148,22 @@ class ConfigurationSpace:
         param_values: Optional[Mapping[str, int]] = None,
         base_options: Optional[MappingOptions] = None,
         space_options: Optional[SpaceOptions] = None,
+        session: Optional[CompilationSession] = None,
     ) -> None:
         self.program = program
         self.spec = spec
         self.base_options = base_options or MappingOptions()
         self.space = space_options or SpaceOptions()
-        self.binding = program.bound_params(param_values)
-        self.analysis = analyze_bands(program)
-        self.extents, self.lowers = loop_extents(program, self.binding)
+        #: the staged-compiler session whose frozen analysis artifacts this
+        #: space shares (and whose `compile()` freezes the seed mapping)
+        self.session = session or CompilationSession(
+            program, spec=spec, options=self.base_options, param_values=param_values
+        )
+        analysis_artifact = self.session.analysis()
+        self.binding = dict(analysis_artifact.binding)
+        self.analysis = analysis_artifact.analysis
+        self.extents = dict(analysis_artifact.extents)
+        self.lowers = dict(analysis_artifact.lowers)
         self.memory = MemoryModel(spec)
         self._models: Dict[Tuple[int, int], DataMovementCostModel] = {}
         self._seed: Optional[Configuration] = None
@@ -211,8 +218,7 @@ class ConfigurationSpace:
         every tuning report compares against.
         """
         if self._seed is None:
-            pipeline = MappingPipeline(spec=self.spec, options=self.base_options)
-            mapped = pipeline.compile(self.program, dict(self.binding))
+            mapped = self.session.compile()
             self._seed = Configuration.from_options(self.base_options, mapped.tile_sizes)
         return self._seed
 

@@ -5,6 +5,13 @@ the loop we keep the emission textual: the rendering shows the multi-level
 tiled loop structure, the ``__shared__`` buffer declarations, the copy-in /
 copy-out nests and the synchronisation points, which is what the paper's
 figures (Fig. 1, Fig. 3) display.
+
+:func:`emit_c` is also registered with the staged compiler as the optional
+``emit`` terminal pass (:class:`repro.compiler.EmitCPass`): append ``"emit"``
+to a session's pass list — or call
+:meth:`repro.compiler.CompilationSession.render_c` — to obtain the mapped
+kernel's rendering as a fingerprinted stage artifact, headed by the kernel
+name and launch geometry.
 """
 
 from __future__ import annotations

@@ -1,0 +1,140 @@
+"""Process-wide compilation instrumentation.
+
+Two layers of counters, both lock-protected because parallel evaluation
+compiles on thread-pool workers:
+
+* :data:`COMPILE_COUNTER` counts *end-to-end* compilations (one per
+  :class:`~repro.compiler.session.CompilationSession` run that executes the
+  mapping stage).  The autotuner's persistent cache promises that a warm
+  request performs zero compiles; this counter is how tests, benchmarks and
+  the tuning service verify that promise.
+* :data:`STAGE_COUNTER` counts *per-stage* pass executions.  Session replay
+  promises that config-invariant stages (affine analysis) run once per
+  request rather than once per candidate; the per-stage counts are how that
+  promise is verified.
+
+Both live here (not in :mod:`repro.core.pipeline`) so the compiler package
+never imports the deprecated pipeline shims; the old import paths keep
+working through re-exports.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CompileCounter:
+    """Counts end-to-end pipeline compilations.
+
+    The autotuner's persistent cache promises that a warm request performs
+    *zero* pipeline compiles; this process-wide counter is how tests and
+    benchmarks verify that promise.  Increments are lock-protected because
+    parallel evaluation compiles on thread-pool workers.
+    """
+
+    count: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def increment(self) -> None:
+        with self._lock:
+            self.count += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+
+
+#: process-wide counter bumped by every end-to-end compile (session or shim)
+COMPILE_COUNTER = CompileCounter()
+
+
+@dataclass
+class CompileCount:
+    """Result slot of :func:`counting_compiles`."""
+
+    count: int = 0
+
+
+@contextlib.contextmanager
+def counting_compiles():
+    """Count the pipeline compiles performed inside the ``with`` block.
+
+    Yields a :class:`CompileCount` whose ``count`` is final once the block
+    exits.  The delta is taken from the process-wide :data:`COMPILE_COUNTER`,
+    so compiles on *other* threads of this process during the block are
+    included — callers wanting an exact per-task figure (the tuning service's
+    per-job accounting, the CLI) should not run compiles concurrently in the
+    same process, or should treat the figure as an upper bound.
+    """
+    start = COMPILE_COUNTER.count
+    box = CompileCount()
+    try:
+        yield box
+    finally:
+        box.count = COMPILE_COUNTER.count - start
+
+
+@dataclass
+class StageCounter:
+    """Per-stage pass-execution counts, process-wide and thread-safe."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, stage: str) -> None:
+        with self._lock:
+            self.counts[stage] = self.counts.get(stage, 0) + 1
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self.counts)
+
+    def total(self) -> int:
+        with self._lock:
+            return sum(self.counts.values())
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counts.clear()
+
+
+#: process-wide counter bumped once per executed compiler pass, keyed by stage
+STAGE_COUNTER = StageCounter()
+
+
+@dataclass
+class StageRunCount:
+    """Result slot of :func:`counting_stage_runs`."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+@contextlib.contextmanager
+def counting_stage_runs():
+    """Count per-stage pass executions inside the ``with`` block.
+
+    Yields a :class:`StageRunCount` whose ``counts`` maps stage name to the
+    number of executions once the block exits.  Like
+    :func:`counting_compiles`, the delta is process-global: stages run by
+    other threads during the block are included.
+    """
+    start = STAGE_COUNTER.snapshot()
+    box = StageRunCount()
+    try:
+        yield box
+    finally:
+        end = STAGE_COUNTER.snapshot()
+        deltas = {
+            stage: end[stage] - start.get(stage, 0)
+            for stage in end
+            if end[stage] - start.get(stage, 0)
+        }
+        box.counts.update(deltas)

@@ -1,0 +1,243 @@
+"""Staged compilation sessions with replay-from-stage.
+
+A :class:`CompilationSession` pins one (program, machine spec, base options,
+parameter binding) tuple and runs the pass pipeline over it:
+
+* :meth:`compile` — the full pipeline under the base options (the one-shot
+  compile the old ``MappingPipeline.compile`` performed), with every stage
+  artifact cached on the session;
+* :meth:`replay` — re-run only the config-dependent stages for an explicit
+  mapping configuration, *reusing* the frozen upstream artifacts.
+  ``session.replay(from_stage="tiling", config=...)`` is the autotuner's hot
+  path: affine analysis runs once per session, then hundreds of candidate
+  configurations replay from the tiling stage.
+
+Replay is validated, not trusted: each stage artifact carries a fingerprint
+derived from the option fields the stage reads, and replay refuses to reuse
+an artifact whose fingerprint would change under the requested configuration
+(with an error naming the earliest stage to replay from instead).
+
+Sessions are thread-safe — the autotuner's parallel evaluators share one
+session, and the first thread to need the analysis artifact computes it while
+the others wait.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.options import MappingOptions
+from repro.ir.program import Program
+from repro.machine.memory import MemoryModel
+from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
+
+from repro.compiler.artifacts import AnalysisArtifact, MappedKernel, StageArtifact
+from repro.compiler.manager import PassManager, PassTiming
+from repro.compiler.passes import EmitCPass, PassContext, base_fingerprint
+
+
+class CompilationSession:
+    """One program compiled as a staged pipeline with cacheable artifacts."""
+
+    def __init__(
+        self,
+        program: Program,
+        spec: GPUSpec = GEFORCE_8800_GTX,
+        options: Optional[MappingOptions] = None,
+        param_values: Optional[Mapping[str, int]] = None,
+        passes: Optional[Sequence[Any]] = None,
+        manager: Optional[PassManager] = None,
+    ) -> None:
+        if manager is not None and passes is not None:
+            raise ValueError("pass either a pass list or a PassManager, not both")
+        self.program = program
+        self.spec = spec
+        self.options = options or MappingOptions()
+        self.param_values = dict(param_values) if param_values is not None else None
+        self.manager = manager or PassManager(passes)
+        self.memory = MemoryModel(spec)
+        self._artifacts: Dict[str, StageArtifact] = {}
+        self._base_fingerprint: Optional[str] = None
+        self._lock = threading.Lock()
+
+    # Sessions pickle (minus the lock) so a process-pool evaluator can ship
+    # its frozen artifacts to the workers instead of re-analysing there.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- identity ----------------------------------------------------------------------
+    @property
+    def base_fingerprint(self) -> str:
+        """Session identity: program text + parameter binding + machine spec."""
+        if self._base_fingerprint is None:
+            self._base_fingerprint = base_fingerprint(
+                self.program, self.spec, self.param_values
+            )
+        return self._base_fingerprint
+
+    @property
+    def stage_names(self) -> List[str]:
+        return self.manager.stage_names
+
+    def _context(
+        self, options: MappingOptions, artifacts: Dict[str, StageArtifact]
+    ) -> PassContext:
+        return PassContext(
+            program=self.program,
+            spec=self.spec,
+            options=options,
+            param_values=self.param_values,
+            memory=self.memory,
+            base_fingerprint=self.base_fingerprint,
+            artifacts=artifacts,
+        )
+
+    # -- compilation -------------------------------------------------------------------
+    def compile(self) -> MappedKernel:
+        """Run the full pipeline under the base options (artifacts cached).
+
+        The first call performs every stage (including the Section-4.3 tile
+        search when no explicit tile sizes are given); later calls return the
+        cached mapped kernel without re-running anything.
+        """
+        with self._lock:
+            ctx = self._context(self.options, self._artifacts)
+            self.manager.run(ctx)
+        return self.artifact("mapping").value
+
+    def replay(
+        self,
+        from_stage: str = "tiling",
+        config: Any = None,
+        options: Optional[MappingOptions] = None,
+    ) -> MappedKernel:
+        """Re-run the pipeline from ``from_stage`` for one configuration.
+
+        ``config`` is anything exposing ``num_blocks``, ``threads_per_block``,
+        ``use_scratchpad`` and a ``tile_dict`` mapping of explicit tile sizes
+        (notably :class:`repro.autotune.space.Configuration`); alternatively
+        pass fully-resolved ``options``.  Stages *before* ``from_stage`` are
+        reused from the session's frozen artifacts — computed on demand, once
+        — after verifying their fingerprints survive the new options.  Because
+        the tile sizes are explicit, the Section-4.3 search never runs on a
+        config replay, which is what lets the autotuner evaluate many
+        configurations cheaply.
+        """
+        target = self._resolve_options(config, options)
+        index = self.manager.stage_index(from_stage)
+        with self._lock:
+            base_ctx = self._context(self.options, self._artifacts)
+            if index > 0:
+                self.manager.run(base_ctx, upto=self.manager.passes[index - 1].name)
+            reused = {
+                item.name: self._artifacts[item.name]
+                for item in self.manager.passes[:index]
+            }
+        self._validate_reuse(target, from_stage, reused)
+        ctx = self._context(target, dict(reused))
+        # Stop at the mapping stage: terminal passes (emit) are per-session
+        # inspection tools, not per-candidate work.
+        upto = "mapping" if "mapping" in self.manager.stage_names else None
+        self.manager.run(ctx, start_index=index, upto=upto)
+        try:
+            return ctx.artifacts["mapping"].value
+        except KeyError:
+            raise ValueError(
+                "the session's pass list has no 'mapping' stage to replay"
+            ) from None
+
+    def _resolve_options(
+        self, config: Any, options: Optional[MappingOptions]
+    ) -> MappingOptions:
+        if config is not None and options is not None:
+            raise ValueError("pass either a configuration or options, not both")
+        if config is None:
+            return options or self.options
+        tile_sizes = (
+            config.tile_dict if hasattr(config, "tile_dict") else config.tile_sizes
+        )
+        return self.options.with_overrides(
+            num_blocks=config.num_blocks,
+            threads_per_block=config.threads_per_block,
+            tile_sizes=dict(tile_sizes) if tile_sizes is not None else None,
+            use_scratchpad=config.use_scratchpad,
+        )
+
+    def _validate_reuse(
+        self,
+        target: MappingOptions,
+        from_stage: str,
+        reused: Mapping[str, StageArtifact],
+    ) -> None:
+        """Refuse to reuse an artifact the new options would have changed."""
+        expected = self.manager.expected_fingerprints(
+            self._context(target, dict(reused))
+        )
+        for stage, artifact in reused.items():
+            if expected[stage] != artifact.fingerprint:
+                raise ValueError(
+                    f"configuration changes the {stage!r} stage, which "
+                    f"replay(from_stage={from_stage!r}) would reuse; replay "
+                    f"from {stage!r} (or an earlier stage) instead"
+                )
+
+    # -- artifact access ---------------------------------------------------------------
+    def artifact(self, stage: str) -> StageArtifact:
+        """The cached base-options artifact of ``stage`` (computed on demand)."""
+        self.manager.stage_index(stage)  # validates the name
+        with self._lock:
+            if stage not in self._artifacts:
+                ctx = self._context(self.options, self._artifacts)
+                self.manager.run(ctx, upto=stage)
+            return self._artifacts[stage]
+
+    def analysis(self) -> AnalysisArtifact:
+        """The config-invariant affine analysis (bands, extents, binding)."""
+        return self.artifact("analysis").value
+
+    def render_c(self) -> str:
+        """The mapped program as C-like text (the optional ``emit`` pass)."""
+        self.compile()
+        if "emit" in self.manager.stage_names:
+            return self.artifact("emit").value
+        with self._lock:
+            ctx = self._context(self.options, self._artifacts)
+            artifact = ctx.artifacts.get("emit")
+            if artifact is None:
+                emitter = EmitCPass()
+                value = emitter.run(ctx)
+                artifact = StageArtifact(
+                    stage="emit",
+                    fingerprint=emitter.fingerprint(
+                        ctx, [self._artifacts["mapping"].fingerprint]
+                    ),
+                    value=value,
+                )
+                self._artifacts["emit"] = artifact
+            return artifact.value
+
+    def stage_report(self) -> List[Dict[str, Any]]:
+        """Per-stage timings and artifact fingerprints (``inspect-stages``)."""
+        timings: Dict[str, PassTiming] = {t.stage: t for t in self.manager.timings()}
+        rows: List[Dict[str, Any]] = []
+        for item in self.manager.passes:
+            timing = timings.get(item.name, PassTiming(item.name))
+            artifact = self._artifacts.get(item.name)
+            rows.append(
+                {
+                    "stage": item.name,
+                    "config_dependent": item.config_dependent,
+                    "runs": timing.runs,
+                    "total_ms": 1e3 * timing.total_seconds,
+                    "mean_ms": timing.mean_ms,
+                    "fingerprint": artifact.short_fingerprint if artifact else None,
+                }
+            )
+        return rows

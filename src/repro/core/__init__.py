@@ -1,14 +1,18 @@
 """End-to-end compilation pipeline (the paper's system, assembled).
 
-:class:`~repro.core.pipeline.MappingPipeline` chains the pieces the paper
-describes: parallelism detection (bands), multi-level tiling, scratchpad data
-management with copy-code placement, launch-geometry selection and workload
-extraction for the machine models.
+The implementation lives in :mod:`repro.compiler` as a staged pass pipeline
+(affine analysis → multi-level tiling → scratchpad data management →
+mapping/workload extraction) with first-class, fingerprintable stage
+artifacts and replay-from-stage.  This package keeps the historical entry
+points: :class:`MappingOptions` (the pipeline's knobs — still the canonical
+home) and :class:`MappingPipeline`, whose ``compile``/``compile_with_config``
+are deprecation shims over :class:`repro.compiler.CompilationSession`.
 """
 
 from repro.core.options import MappingOptions
 from repro.core.pipeline import (
     COMPILE_COUNTER,
+    CompilationSession,
     CompileCount,
     CompileCounter,
     MappedKernel,
@@ -18,6 +22,7 @@ from repro.core.pipeline import (
 
 __all__ = [
     "COMPILE_COUNTER",
+    "CompilationSession",
     "CompileCount",
     "CompileCounter",
     "MappingOptions",

@@ -1,488 +1,132 @@
-"""End-to-end mapping pipeline: program → multi-level tiled, scratchpad-managed
-kernel plus the workload descriptor the machine models price.
+"""Deprecated monolithic pipeline facade over :mod:`repro.compiler`.
 
-The pipeline follows the paper's flow:
+The end-to-end compiler used to live here as one ``MappingPipeline.compile``
+with private helpers; it is now the staged pass pipeline of
+:mod:`repro.compiler` (``analysis → tiling → scratchpad → mapping``), where
+each stage is a first-class, fingerprintable artifact and
+:class:`~repro.compiler.session.CompilationSession` supports
+replay-from-stage.
 
-1. find parallelism (bands, space/time loops) — Section 4.1;
-2. outer-level tiling across thread blocks, memory-constrained intra-tile
-   tiling (tile sizes either given or found by the Section-4.3 search), and
-   inner-level tiling across threads — Figs. 2–3;
-3. scratchpad data management for the tile body — Section 3 — with copy code
-   placed at the block boundary and synchronisation points inserted;
-4. extraction of launch geometry and a per-block workload descriptor for the
-   analytical machine models (the stand-in for running CUDA on the 8800 GTX).
+:class:`MappingPipeline` remains as a thin compatibility shim:
+
+* :meth:`MappingPipeline.compile` ≡ ``CompilationSession(...).compile()``;
+* :meth:`MappingPipeline.compile_with_config` ≡
+  ``CompilationSession(...).replay(from_stage="tiling", config=...)``.
+
+Both emit :class:`DeprecationWarning`; new code should build sessions
+directly (via :meth:`MappingPipeline.session` or :mod:`repro.compiler`),
+which also unlocks artifact reuse across configurations.  The counters
+(:data:`COMPILE_COUNTER`, :func:`counting_compiles`) and the pure helpers
+(:func:`loop_extents`, :func:`split_across`) are re-exported from the
+compiler package unchanged.
 """
 
 from __future__ import annotations
 
-import contextlib
-import math
-import threading
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+import warnings
+from typing import Any, Mapping, Optional, Sequence
 
 from repro.core.options import MappingOptions
-from repro.ir.ast import BlockNode, StatementNode, SyncNode
 from repro.ir.program import Program
-from repro.ir.statements import Statement
-from repro.machine.gpu import BlockWorkload
 from repro.machine.memory import MemoryModel
 from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
-from repro.polyhedral.parametric import parametric_bounds
-from repro.scratchpad.manager import ScratchpadManager, ScratchpadOptions, ScratchpadPlan
-from repro.scratchpad.remap import build_remap_table, remap_statement
-from repro.tiling.bands import BandAnalysis, analyze_bands
-from repro.tiling.cost_model import DataMovementCostModel
-from repro.tiling.mapping import LaunchGeometry, blocks_for_extent
-from repro.tiling.multilevel import TiledProgram, TilingLevelSpec, tile_program
-from repro.tiling.placement import placement_depths
-from repro.tiling.tile_search import TileSearchProblem, TileSearchResult, search_tile_sizes
 
+# Re-exports: the implementation moved to repro.compiler, but these names are
+# long-standing public API of this module.
+from repro.compiler.artifacts import MappedKernel
+from repro.compiler.instrument import (
+    COMPILE_COUNTER,
+    CompileCount,
+    CompileCounter,
+    counting_compiles,
+)
+from repro.compiler.passes import loop_extents, resolve_pass_names, split_across
+from repro.compiler.session import CompilationSession
 
-@dataclass
-class CompileCounter:
-    """Counts end-to-end pipeline compilations.
-
-    The autotuner's persistent cache promises that a warm request performs
-    *zero* pipeline compiles; this process-wide counter is how tests and
-    benchmarks verify that promise.  Increments are lock-protected because
-    parallel evaluation compiles on thread-pool workers.
-    """
-
-    count: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
-
-    def increment(self) -> None:
-        with self._lock:
-            self.count += 1
-
-    def reset(self) -> None:
-        with self._lock:
-            self.count = 0
-
-
-#: process-wide counter bumped by every :meth:`MappingPipeline.compile`
-COMPILE_COUNTER = CompileCounter()
-
-
-@dataclass
-class CompileCount:
-    """Result slot of :func:`counting_compiles`."""
-
-    count: int = 0
-
-
-@contextlib.contextmanager
-def counting_compiles():
-    """Count the pipeline compiles performed inside the ``with`` block.
-
-    Yields a :class:`CompileCount` whose ``count`` is final once the block
-    exits.  The delta is taken from the process-wide :data:`COMPILE_COUNTER`,
-    so compiles on *other* threads of this process during the block are
-    included — callers wanting an exact per-task figure (the tuning service's
-    per-job accounting, the CLI) should not run compiles concurrently in the
-    same process, or should treat the figure as an upper bound.
-    """
-    start = COMPILE_COUNTER.count
-    box = CompileCount()
-    try:
-        yield box
-    finally:
-        box.count = COMPILE_COUNTER.count - start
-
-
-@dataclass
-class MappedKernel:
-    """Everything the pipeline produces for one kernel configuration."""
-
-    original: Program
-    analysis: BandAnalysis
-    tiled: Optional[TiledProgram]
-    plan: Optional[ScratchpadPlan]
-    #: final executable program (tiled structure, remapped accesses, copy code)
-    program: Program
-    geometry: LaunchGeometry
-    workload: BlockWorkload
-    global_sync_rounds: int
-    tile_sizes: Dict[str, int]
-    outer_tile_sizes: Dict[str, int]
-    tile_search: Optional[TileSearchResult] = None
-    param_binding: Dict[str, int] = field(default_factory=dict)
-
-    @property
-    def uses_scratchpad(self) -> bool:
-        return self.plan is not None and bool(self.plan.buffers)
+__all__ = [
+    "COMPILE_COUNTER",
+    "CompilationSession",
+    "CompileCount",
+    "CompileCounter",
+    "MappedKernel",
+    "MappingPipeline",
+    "counting_compiles",
+    "loop_extents",
+    "split_across",
+]
 
 
 class MappingPipeline:
-    """Compiles affine programs onto the two-level machine model."""
+    """Compiles affine programs onto the two-level machine model (deprecated).
+
+    The ``compile``/``compile_with_config`` entry points are shims over the
+    staged :mod:`repro.compiler` API and warn with ``DeprecationWarning``;
+    :meth:`session` is the supported, warning-free bridge for callers holding
+    a pipeline.  The ``passes`` argument selects a custom pass list by name —
+    unknown names are rejected here, at construction, with the registered
+    passes listed.
+    """
 
     def __init__(
         self,
         spec: GPUSpec = GEFORCE_8800_GTX,
         options: Optional[MappingOptions] = None,
+        passes: Optional[Sequence[Any]] = None,
     ) -> None:
         self.spec = spec
         self.options = options or MappingOptions()
         self.memory = MemoryModel(spec)
+        # Validate eagerly: a typo in a stage/pass name must fail at
+        # construction with the registry listed, not deep inside a run.
+        self.passes = None if passes is None else resolve_pass_names(passes)
 
-    # -- public API -----------------------------------------------------------------
+    # -- supported API ---------------------------------------------------------------
+    def session(
+        self, program: Program, param_values: Optional[Mapping[str, int]] = None
+    ) -> CompilationSession:
+        """A :class:`CompilationSession` carrying this pipeline's spec/options."""
+        return CompilationSession(
+            program,
+            spec=self.spec,
+            options=self.options,
+            param_values=param_values,
+            passes=self.passes,
+        )
+
+    # -- deprecated shims --------------------------------------------------------------
     def compile(
         self, program: Program, param_values: Optional[Mapping[str, int]] = None
     ) -> MappedKernel:
-        COMPILE_COUNTER.increment()
-        options = self.options
-        binding = program.bound_params(param_values)
-        analysis = analyze_bands(program)
-        extents, lowers = self._loop_extents(program, binding)
-
-        space_loops = list(analysis.space_loops) or [analysis.loop_order[0]]
-        block_counts = self._split_across(options.num_blocks, space_loops, extents)
-        outer_tiles = {
-            loop: max(1, math.ceil(extents[loop] / block_counts[loop]))
-            for loop in space_loops
-        }
-
-        search_result: Optional[TileSearchResult] = None
-        if options.tile_sizes is not None:
-            mem_tiles = {
-                loop: min(int(size), extents[loop])
-                for loop, size in options.tile_sizes.items()
-                if loop in extents
-            }
-        else:
-            mem_tiles, search_result = self._search_tiles(
-                program, analysis, binding, extents, outer_tiles
-            )
-        for loop in analysis.loop_order:
-            mem_tiles.setdefault(loop, min(outer_tiles.get(loop, extents[loop]), extents[loop]))
-
-        thread_counts = self._split_across(
-            options.threads_per_block, space_loops, mem_tiles
+        """Deprecated: one-shot compile (build a session instead)."""
+        warnings.warn(
+            "MappingPipeline.compile() is a deprecated shim; build a "
+            "repro.compiler.CompilationSession and call session.compile() "
+            "instead (artifacts become reusable across configurations)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        thread_tiles = {
-            loop: max(1, math.ceil(mem_tiles[loop] / thread_counts[loop]))
-            for loop in space_loops
-        }
-
-        levels = [
-            TilingLevelSpec(sizes=dict(outer_tiles), parallel="blocks", suffix="T"),
-            TilingLevelSpec(sizes=dict(mem_tiles), parallel=None, suffix="p"),
-            TilingLevelSpec(sizes=dict(thread_tiles), parallel="threads", suffix="t"),
-        ]
-        tiled = tile_program(program, levels, block_level=1)
-
-        plan: Optional[ScratchpadPlan] = None
-        if options.use_scratchpad:
-            plan = self._apply_scratchpad(tiled, binding, mem_tiles, lowers)
-
-        geometry = LaunchGeometry(
-            num_blocks=options.num_blocks,
-            threads_per_block=options.threads_per_block,
-            shared_memory_per_block_bytes=plan.total_footprint_bytes() if plan else 0,
-        )
-        workload, rounds = self._build_workload(
-            program, analysis, plan, binding, extents, lowers, outer_tiles, mem_tiles
-        )
-        return MappedKernel(
-            original=program,
-            analysis=analysis,
-            tiled=tiled,
-            plan=plan,
-            program=tiled.program,
-            geometry=geometry,
-            workload=workload,
-            global_sync_rounds=rounds,
-            tile_sizes=mem_tiles,
-            outer_tile_sizes=outer_tiles,
-            tile_search=search_result,
-            param_binding=dict(binding),
-        )
+        return self.session(program, param_values).compile()
 
     def compile_with_config(
         self,
         program: Program,
-        config,
+        config: Any,
         param_values: Optional[Mapping[str, int]] = None,
     ) -> MappedKernel:
-        """Replay one explicit mapping configuration, skipping the tile search.
+        """Deprecated: replay one explicit configuration (use session.replay).
 
         ``config`` is anything exposing ``num_blocks``, ``threads_per_block``,
         ``use_scratchpad`` and a ``tile_dict`` mapping of explicit tile sizes
-        (notably :class:`repro.autotune.space.Configuration`).  Because the
-        tile sizes are given, :meth:`compile` takes its explicit-sizes path and
-        the Section-4.3 search never runs — this is what lets the autotuner
-        evaluate many configurations cheaply and replay cached winners.
+        (notably :class:`repro.autotune.space.Configuration`).
         """
-        tile_sizes = config.tile_dict if hasattr(config, "tile_dict") else config.tile_sizes
-        options = self.options.with_overrides(
-            num_blocks=config.num_blocks,
-            threads_per_block=config.threads_per_block,
-            tile_sizes=dict(tile_sizes) if tile_sizes is not None else None,
-            use_scratchpad=config.use_scratchpad,
+        warnings.warn(
+            "MappingPipeline.compile_with_config() is a deprecated shim; use "
+            "repro.compiler.CompilationSession.replay(from_stage='tiling', "
+            "config=...) instead (the analysis stages are then reused across "
+            "configurations)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        replay = MappingPipeline(spec=self.spec, options=options)
-        return replay.compile(program, param_values)
-
-    # -- tiling helpers ----------------------------------------------------------------
-    def _loop_extents(
-        self, program: Program, binding: Mapping[str, int]
-    ) -> Tuple[Dict[str, int], Dict[str, int]]:
-        return loop_extents(program, binding)
-
-    @staticmethod
-    def _split_across(
-        total: int, loops: Sequence[str], weights: Mapping[str, int]
-    ) -> Dict[str, int]:
-        return split_across(total, loops, weights)
-
-    def _search_tiles(
-        self,
-        program: Program,
-        analysis: BandAnalysis,
-        binding: Mapping[str, int],
-        extents: Mapping[str, int],
-        outer_tiles: Mapping[str, int],
-    ) -> Tuple[Dict[str, int], TileSearchResult]:
-        """Run the Section-4.3 search for the memory-level tile sizes."""
-        options = self.options
-        loop_extents = {
-            loop: outer_tiles.get(loop, extents[loop]) for loop in analysis.loop_order
-        }
-        model = DataMovementCostModel(
-            program=program,
-            tile_loops=list(analysis.loop_order),
-            loop_extents=loop_extents,
-            threads=options.threads_per_block,
-            sync_cost=self.spec.block_sync_cycles,
-            transfer_cost=self.spec.dma_cycles_per_element,
-            problem_params=dict(binding),
-            delta=options.delta,
-            stage_all=options.target == "cell",
-            hoisting=options.hoisting,
+        return self.session(program, param_values).replay(
+            from_stage="tiling", config=config
         )
-        blocks_per_mp = 1
-        if analysis.needs_global_synchronization:
-            blocks_per_mp = max(
-                1, math.ceil(options.num_blocks / self.spec.multiprocessors)
-            )
-        memory_limit = self.memory.memory_limit_per_block(blocks_per_mp)
-        problem = TileSearchProblem(
-            cost_model=model,
-            memory_limit_bytes=float(memory_limit),
-            min_parallelism=options.threads_per_block,
-        )
-        result = search_tile_sizes(problem)
-        return dict(result.tile_sizes), result
-
-    # -- scratchpad integration ----------------------------------------------------------
-    def _apply_scratchpad(
-        self,
-        tiled: TiledProgram,
-        binding: Mapping[str, int],
-        mem_tiles: Mapping[str, int],
-        lowers: Mapping[str, int],
-    ) -> ScratchpadPlan:
-        """Plan buffers for the tile body and splice copy code into the block."""
-        options = self.options
-        representative = self._representative_tile_binding(tiled, binding, lowers)
-        manager = ScratchpadManager(
-            ScratchpadOptions(
-                delta=options.delta,
-                target=options.target,
-                context=tiled.context,
-                param_binding=representative,
-                liveness=options.liveness,
-            )
-        )
-        program = tiled.program
-        plan = manager.plan(program)
-        if not plan.buffers:
-            return plan
-
-        table = build_remap_table(plan.specs())
-        remapped: Dict[str, Statement] = {}
-        for statement in list(program.statements.values()):
-            remapped[statement.name] = remap_statement(statement, table)
-        for node in program.body.walk():
-            if isinstance(node, StatementNode) and node.statement.name in remapped:
-                node.statement = remapped[node.statement.name]
-        program.statements.update(remapped)
-
-        new_block: List = []
-        for entry in plan.buffers:
-            if entry.movement.has_copy_in():
-                new_block.extend(entry.movement.copy_in.body)
-                for statement in entry.movement.copy_in_statements:
-                    program.add_statement(statement)
-        if new_block:
-            new_block.append(SyncNode(scope="threads"))
-        new_block.extend(tiled.block_body.body)
-        copy_out_nodes: List = []
-        for entry in plan.buffers:
-            if entry.movement.has_copy_out():
-                copy_out_nodes.extend(entry.movement.copy_out.body)
-                for statement in entry.movement.copy_out_statements:
-                    program.add_statement(statement)
-        if copy_out_nodes:
-            new_block.append(SyncNode(scope="threads"))
-            new_block.extend(copy_out_nodes)
-        tiled.block_body.body = new_block
-
-        for spec in plan.specs():
-            program.add_array(spec.local)
-            program.symbol_definitions.update(spec.offset_definitions)
-        program.name = f"{program.name}_spm"
-        program.validate()
-        return plan
-
-    @staticmethod
-    def _representative_tile_binding(
-        tiled: TiledProgram, binding: Mapping[str, int], lowers: Mapping[str, int]
-    ) -> Dict[str, int]:
-        """Bind every tile iterator to its loop's lower bound (an interior tile)."""
-        values = dict(binding)
-        for level in tiled.levels:
-            for original, (iterator, _size) in level.iterators.items():
-                values[iterator] = lowers.get(original, 0)
-        return values
-
-    # -- workload extraction ------------------------------------------------------------
-    def _build_workload(
-        self,
-        program: Program,
-        analysis: BandAnalysis,
-        plan: Optional[ScratchpadPlan],
-        binding: Mapping[str, int],
-        extents: Mapping[str, int],
-        lowers: Mapping[str, int],
-        outer_tiles: Mapping[str, int],
-        mem_tiles: Mapping[str, int],
-    ) -> Tuple[BlockWorkload, int]:
-        options = self.options
-        total_instances = 0.0
-        weighted_global = 0.0
-        weighted_shared = 0.0
-        table = build_remap_table(plan.specs()) if plan else {}
-        for statement in program.statement_list:
-            instances = 1.0
-            for loop in statement.domain.dims:
-                instances *= extents[loop]
-            total_instances += instances
-            target = remap_statement(statement, table) if table else statement
-            global_accesses, shared_accesses = _access_counts(target)
-            weighted_global += instances * global_accesses
-            weighted_shared += instances * shared_accesses
-        if total_instances == 0:
-            raise ValueError("program has no statement instances")
-        global_per_instance = weighted_global / total_instances
-        shared_per_instance = weighted_shared / total_instances
-        instances_per_block = total_instances / options.num_blocks
-
-        element_size = next(iter(program.arrays.values())).element_size
-        copy_in = copy_out = occurrences_total = 0.0
-        if plan is not None and plan.buffers:
-            representative = dict(binding)
-            representative.update(
-                {f"{loop}T": lowers[loop] for loop in outer_tiles}
-            )
-            for loop in analysis.loop_order:
-                representative.setdefault(f"{loop}p", lowers[loop])
-                representative.setdefault(f"{loop}t", lowers[loop])
-            block_loops = [
-                (f"{loop}p", loop) for loop in analysis.loop_order if loop in mem_tiles
-            ]
-            depths = placement_depths(
-                plan.specs(), block_loops, enable_hoisting=options.hoisting
-            )
-            for entry in plan.buffers:
-                spec_loops = block_loops[: depths[entry.spec.local.name]]
-                occurrences = 1.0
-                for _tile_iter, original in spec_loops:
-                    extent = outer_tiles.get(original, extents[original])
-                    occurrences *= math.ceil(extent / mem_tiles[original])
-                volume_in = entry.movement.volume_in(representative)
-                volume_out = entry.movement.volume_out(representative)
-                copy_in += occurrences * volume_in
-                copy_out += occurrences * volume_out
-                occurrences_total += occurrences * (
-                    int(volume_in > 0) + int(volume_out > 0)
-                )
-            element_size = plan.buffers[0].spec.original.element_size
-
-        workload = BlockWorkload(
-            compute_instances=instances_per_block,
-            global_accesses_per_instance=global_per_instance,
-            shared_accesses_per_instance=shared_per_instance,
-            copy_in_elements=copy_in,
-            copy_out_elements=copy_out,
-            copy_occurrences=occurrences_total,
-            element_size=element_size,
-        )
-
-        rounds = 1
-        if analysis.needs_global_synchronization and analysis.space_loops:
-            first_space = analysis.loop_order.index(analysis.space_loops[0])
-            for loop in analysis.loop_order[:first_space]:
-                if loop in analysis.time_loops:
-                    rounds *= blocks_for_extent(extents[loop], mem_tiles[loop])
-        return workload, rounds
-
-
-def loop_extents(
-    program: Program, binding: Mapping[str, int]
-) -> Tuple[Dict[str, int], Dict[str, int]]:
-    """Concrete extent and lower bound of every loop of the (deepest) nest.
-
-    Shared by the pipeline and the autotuner's configuration space so both
-    derive launch geometry from identical extents.
-    """
-    extents: Dict[str, int] = {}
-    lowers: Dict[str, int] = {}
-    for statement in program.statement_list:
-        for loop in statement.domain.dims:
-            if loop in extents:
-                continue
-            bound = parametric_bounds(statement.domain, loop)
-            low = bound.lower.evaluate_int(binding)
-            high = bound.upper.evaluate_int(binding)
-            extents[loop] = max(high - low + 1, 1)
-            lowers[loop] = low
-    return extents, lowers
-
-
-def split_across(
-    total: int, loops: Sequence[str], weights: Mapping[str, int]
-) -> Dict[str, int]:
-    """Split a process count across loops, proportionally to their extents."""
-    counts = {loop: 1 for loop in loops}
-    remaining = total
-    if len(loops) == 1:
-        counts[loops[0]] = total
-        return counts
-    # Repeatedly double the count of the loop with the largest per-count extent.
-    while remaining > 1:
-        best = max(loops, key=lambda l: weights[l] / counts[l])
-        if counts[best] * 2 > total:
-            break
-        counts[best] *= 2
-        product = 1
-        for loop in loops:
-            product *= counts[loop]
-        if product >= total:
-            break
-        remaining = total // product
-    return counts
-
-
-def _access_counts(statement: Statement) -> Tuple[float, float]:
-    """(global, shared) accesses per dynamic instance of a statement."""
-    global_count = 0.0
-    shared_count = 0.0
-    loads = statement.read_loads() + [statement.write_load()]
-    for load in loads:
-        if load.array.is_local:
-            shared_count += 1
-        else:
-            global_count += 1
-    return global_count, shared_count

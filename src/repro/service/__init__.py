@@ -22,7 +22,12 @@ contract:
 """
 
 from repro.service.client import PendingTuning, ServiceError, TuningClient
-from repro.service.protocol import JobRecord, ResolvedRequest, TuneRequest
+from repro.service.protocol import (
+    JobRecord,
+    ResolvedRequest,
+    TuneRequest,
+    format_stage_counts,
+)
 from repro.service.server import ServiceUnavailable, TuningServer, TuningService
 from repro.service.worker import execute_request
 
@@ -37,4 +42,5 @@ __all__ = [
     "TuningServer",
     "TuningService",
     "execute_request",
+    "format_stage_counts",
 ]

@@ -25,7 +25,7 @@ from repro.autotune.cli import parse_sizes
 from repro.autotune.search import EXECUTORS, STRATEGIES
 from repro.autotune.session import TuningReport
 from repro.service.client import ServiceError, TuningClient
-from repro.service.protocol import TuneRequest, ordered_cache_stats
+from repro.service.protocol import TuneRequest, format_stage_counts, ordered_cache_stats
 from repro.service.server import TuningServer
 
 DEFAULT_URL = "http://127.0.0.1:8037"
@@ -58,6 +58,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared persistent cache store: PATH.json (legacy single file), "
         "dir:DIR (sharded, O(1) puts), or log:FILE (append-only log) "
         "(default: .repro-service-cache.json)",
+    )
+    serve.add_argument(
+        "--absorb-limit",
+        type=int,
+        default=None,
+        help="LRU bound on the in-memory overlay of worker results the "
+        "server keeps on top of the store (default: the cache's own bound; "
+        "evicted entries are re-read from the store)",
     )
 
     submit = commands.add_parser("submit", help="submit one tuning request")
@@ -112,6 +120,7 @@ def _serve(args: argparse.Namespace) -> int:
         cache=args.cache,
         executor=args.executor,
         max_workers=args.workers,
+        absorb_limit=args.absorb_limit,
     )
 
     def handle_signal(signum: int, _frame: Optional[object]) -> None:
@@ -166,6 +175,8 @@ def _submit(args: argparse.Namespace) -> int:
     print(report.summary())
     print(f"from-cache: {'true' if job['from_cache'] else 'false'}")
     print(f"compiles: {job['compiles']}")
+    if job.get("stages"):
+        print(f"stages: {format_stage_counts(job['stages'])}")
     return 0
 
 
@@ -176,6 +187,8 @@ def _status(args: argparse.Namespace) -> int:
     print(f"from-cache: {'true' if job['from_cache'] else 'false'}")
     if job["compiles"] is not None:
         print(f"compiles: {job['compiles']}")
+    if job.get("stages"):
+        print(f"stages: {format_stage_counts(job['stages'])}")
     if job["error"]:
         print(f"error: {job['error']}")
     return 0

@@ -36,8 +36,23 @@ __all__ = [
     "JobRecord",
     "ResolvedRequest",
     "TuneRequest",
+    "format_stage_counts",
     "ordered_cache_stats",
 ]
+
+
+def format_stage_counts(stages: Mapping[str, int]) -> str:
+    """Render a per-stage execution-count payload in stage order.
+
+    The compiler's standard stages come first in pipeline order, any extra
+    (custom-pass) stages after, sorted — shared by the service CLI and tests
+    so job transcripts are stable.
+    """
+    from repro.compiler import DEFAULT_PASSES
+
+    ordered = [name for name in DEFAULT_PASSES if name in stages]
+    ordered += sorted(name for name in stages if name not in DEFAULT_PASSES)
+    return " ".join(f"{name}={stages[name]}" for name in ordered)
 
 from repro.core.options import MappingOptions
 from repro.ir.program import Program
@@ -232,6 +247,10 @@ class JobRecord:
     from_cache: bool = False
     #: pipeline compiles performed by the worker that ran this job
     compiles: Optional[int] = None
+    #: per-stage pass executions (repro.compiler) performed by that worker —
+    #: ``analysis`` staying at 1 while ``tiling`` counts candidates is the
+    #: session-replay reuse promise, observable per job
+    stages: Optional[Dict[str, int]] = None
     report: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     created_at: float = field(default_factory=time.time)
@@ -249,6 +268,7 @@ class JobRecord:
             "waiters": self.waiters,
             "from_cache": self.from_cache,
             "compiles": self.compiles,
+            "stages": dict(self.stages) if self.stages is not None else None,
             "error": self.error,
             "created_at": self.created_at,
             "finished_at": self.finished_at,

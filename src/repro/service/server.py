@@ -64,6 +64,7 @@ class TuningService:
         max_workers: int = 2,
         spec: GPUSpec = GEFORCE_8800_GTX,
         max_finished_jobs: int = 1024,
+        absorb_limit: Optional[int] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -71,7 +72,13 @@ class TuningService:
             raise ValueError(f"max_workers must be positive, got {max_workers!r}")
         if max_finished_jobs < 1:
             raise ValueError(f"max_finished_jobs must be positive, got {max_finished_jobs!r}")
+        # absorb_limit bounds the cache facade's in-memory overlay of results
+        # absorbed from worker processes, keeping a long-lived server's
+        # resident memory flat (evicted entries are re-read from the store).
+        # None keeps the cache's own bound (the TuningCache default).
         self.cache = cache if isinstance(cache, TuningCache) else TuningCache(cache)
+        if absorb_limit is not None:
+            self.cache.set_absorb_limit(absorb_limit)
         self.executor = executor
         self.max_workers = max_workers
         self.spec = spec
@@ -140,6 +147,7 @@ class TuningService:
                     status="done",
                     from_cache=True,
                     compiles=0,
+                    stages={},
                     report=dict(stored),
                     finished_at=time.time(),
                 )
@@ -210,6 +218,7 @@ class TuningService:
             # publication point status readers key off.
             job.report = outcome["report"]
             job.compiles = outcome["compiles"]
+            job.stages = outcome.get("stages")
             job.from_cache = outcome["from_cache"]
             job.status = "done"
             if outcome["from_cache"]:
@@ -419,9 +428,14 @@ class TuningServer:
         executor: str = "process",
         max_workers: int = 2,
         spec: GPUSpec = GEFORCE_8800_GTX,
+        absorb_limit: Optional[int] = None,
     ) -> None:
         self.service = TuningService(
-            cache=cache, executor=executor, max_workers=max_workers, spec=spec
+            cache=cache,
+            executor=executor,
+            max_workers=max_workers,
+            spec=spec,
+            absorb_limit=absorb_limit,
         )
         self._httpd = ThreadingHTTPServer((host, port), TuningRequestHandler)
         self._httpd.daemon_threads = True

@@ -6,13 +6,19 @@ by in-process tests, where the shared :data:`COMPILE_COUNTER` stays
 observable).  A worker process reopens the shared cache by its store URI
 (plain ``.json`` path, ``dir:`` sharded store, or ``log:`` append log); the
 backend's file locks make its persistence safe against the other workers.
+
+Beyond the end-to-end ``compiles`` count, the completion payload carries the
+staged compiler's per-stage execution counts (``stages``): a healthy
+session-backed run shows the config-invariant ``analysis`` stage executing
+once while ``tiling``/``scratchpad``/``mapping`` run once per candidate —
+the artifact-reuse promise of :mod:`repro.compiler`, observable per job.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Mapping, Optional
 
-from repro.core.pipeline import counting_compiles
+from repro.compiler import counting_compiles, counting_stage_runs
 from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
 from repro.autotune.cache import TuningCache
 from repro.autotune.session import autotune
@@ -31,10 +37,11 @@ def execute_request(
     entries other servers persisted since the pre-enqueue check; server-side
     warm hits never reach a worker at all.
     The returned ``compiles`` counts the pipeline compiles this request
-    performed in the executing process: exactly 0 for a warm cache hit, and
-    — because the underlying counter is process-global — an upper bound when
-    several *thread* workers tune concurrently in one process (process
-    workers are exact, having the process to themselves).
+    performed in the executing process (``stages`` the per-stage pass
+    executions): exactly 0 for a warm cache hit, and — because the underlying
+    counters are process-global — an upper bound when several *thread*
+    workers tune concurrently in one process (process workers are exact,
+    having the process to themselves).
     """
     request = TuneRequest.from_dict(payload)
     # Resolve against the server's machine spec (GPUSpec is a frozen dataclass
@@ -42,7 +49,7 @@ def execute_request(
     # the key the server deduplicated and will absorb under.
     resolved = request.resolve(spec or GEFORCE_8800_GTX)
     cache = TuningCache(cache_path) if cache_path is not None else None
-    with counting_compiles() as compiles:
+    with counting_compiles() as compiles, counting_stage_runs() as stage_runs:
         report = autotune(
             resolved.program,
             spec=resolved.spec,
@@ -60,6 +67,7 @@ def execute_request(
         "report": report.to_dict(),
         "from_cache": report.from_cache,
         # a warm hit is zero compiles by construction, whatever concurrent
-        # jobs in this process added to the global counter meanwhile
+        # jobs in this process added to the global counters meanwhile
         "compiles": 0 if report.from_cache else compiles.count,
+        "stages": {} if report.from_cache else dict(stage_runs.counts),
     }

@@ -446,3 +446,53 @@ class TestSigtermDrain:
         finally:
             if proc.poll() is None:
                 proc.kill()
+
+
+# -- staged-compiler integration ---------------------------------------------------
+class TestStagedCompilerThroughService:
+    def test_job_reports_per_stage_execution_counts(self, tmp_path):
+        """A cold job's record carries the worker's stage counts — analysis
+        exactly once (the session-replay promise), tiling once per candidate —
+        and a warm hit reports zero stage work, like zero compiles."""
+        server = TuningServer(
+            port=0, executor="thread", max_workers=1,
+            cache=str(tmp_path / "cache.json"),
+        ).start()
+        try:
+            client = TuningClient(server.url)
+            cold = client.submit(matmul_request(m=24)).job(timeout=300)
+            assert cold["stages"]["analysis"] == 1
+            assert cold["stages"]["tiling"] >= 2  # seed compile + candidates
+            warm = client.submit(matmul_request(m=24)).job(timeout=300)
+            assert warm["from_cache"] is True
+            assert warm["stages"] == {}
+            assert warm["compiles"] == 0
+        finally:
+            server.stop()
+
+    def test_cache_stats_expose_the_absorb_bound(self, tmp_path):
+        """/cache/stats carries the overlay gauge and its configured bound."""
+        service = TuningService(
+            cache=str(tmp_path / "cache.json"),
+            executor="thread",
+            max_workers=1,
+            absorb_limit=8,
+        )
+        try:
+            stats = service.stats()["cache"]
+            assert stats["absorb_limit"] == 8
+            assert stats["absorbed"] == 0
+        finally:
+            service.drain()
+
+    def test_absorb_limit_applies_to_a_prebuilt_cache(self, tmp_path):
+        """Passing an already-open TuningCache must not silently drop the bound."""
+        cache = TuningCache(str(tmp_path / "cache.json"))
+        service = TuningService(
+            cache=cache, executor="thread", max_workers=1, absorb_limit=8
+        )
+        try:
+            assert cache.absorb_limit == 8
+            assert service.stats()["cache"]["absorb_limit"] == 8
+        finally:
+            service.drain()
