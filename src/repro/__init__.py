@@ -15,7 +15,9 @@ Public API highlights
   staged pass pipeline with inspectable artifacts and replay-from-stage
   (:class:`repro.core.MappingPipeline` remains as a deprecated shim).
 * :func:`repro.autotune.autotune` — empirical autotuning with parallel
-  (thread or process) evaluation and a persistent compilation cache.
+  (thread or process) evaluation, URI-selected evaluation backends
+  (``model:`` / ``measure-py:`` / ``measure-c:`` /
+  ``hybrid:model>measure-py?top=K``) and a persistent compilation cache.
 * :mod:`repro.service` — the autotuner served as a long-lived multi-process
   tuning server with a shared cache and in-flight request deduplication.
 * :mod:`repro.machine` — the GPU / CPU performance models standing in for the
@@ -25,10 +27,14 @@ Public API highlights
 """
 
 from repro.autotune import (
+    BackendUnavailable,
+    EvaluationBackend,
+    Measurement,
     TuningCache,
     TuningReport,
     autotune,
     autotune_batch,
+    parse_backend_uri,
     tuning_fingerprint,
 )
 from repro.compiler import (
@@ -62,8 +68,11 @@ from repro.tiling import TilingLevelSpec, analyze_bands, search_tile_sizes, tile
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackendUnavailable",
     "COMPILE_COUNTER",
     "CompilationSession",
+    "EvaluationBackend",
+    "Measurement",
     "Pass",
     "PassManager",
     "STAGE_COUNTER",
@@ -74,6 +83,7 @@ __all__ = [
     "autotune_batch",
     "counting_compiles",
     "counting_stage_runs",
+    "parse_backend_uri",
     "tuning_fingerprint",
     "MappedKernel",
     "MappingOptions",

@@ -7,10 +7,16 @@ machine.  This package supplies that empirical layer as a reusable service:
 * :mod:`repro.autotune.space` — declarative configuration space (tile sizes,
   launch geometry, scratchpad staging) seeded by the SLSQP relaxed optimum
   and pruned by the cost model and scratchpad capacity;
-* :mod:`repro.autotune.evaluate` — prices a configuration by replaying it
+* :mod:`repro.autotune.backends` — pluggable, URI-selected evaluation
+  backends (``model:`` analytical pricing, ``measure-py:`` /
+  ``measure-c:`` wall-clock measurement of the emitted program,
+  ``hybrid:model>measure-py?top=K`` — the paper's model-prunes-measurement-
+  decides loop) behind one ``prepare``/``measure`` interface;
+* :mod:`repro.autotune.evaluate` — costs a configuration by replaying it
   through a shared :class:`repro.compiler.CompilationSession` (affine
   analysis runs once per request, candidates replay from the tiling stage)
-  and the machine models, with optional interpreter correctness spot-checks;
+  and the selected backend, with optional interpreter correctness
+  spot-checks;
 * :mod:`repro.autotune.search` — exhaustive / pruned-grid / random-restart
   hill-climb strategies with order-preserving parallel evaluation;
 * :mod:`repro.autotune.cache` — persistent fingerprint-keyed cache facade, so
@@ -23,6 +29,20 @@ machine.  This package supplies that empirical layer as a reusable service:
 * :mod:`repro.autotune.cli` — ``python -m repro.autotune``.
 """
 
+from repro.autotune.backends import (
+    BACKEND_SCHEMES,
+    BackendUnavailable,
+    EvaluationBackend,
+    HybridBackend,
+    Measurement,
+    MeasuredCBackend,
+    MeasuredPythonBackend,
+    ModelBackend,
+    available_backends,
+    parse_backend_uri,
+    register_backend,
+    resolve_backend,
+)
 from repro.autotune.cache import TuningCache, fingerprint
 from repro.autotune.store import (
     AppendLogStore,
@@ -58,14 +78,26 @@ from repro.autotune.space import Configuration, ConfigurationSpace, SpaceOptions
 
 __all__ = [
     "AppendLogStore",
+    "BACKEND_SCHEMES",
+    "BackendUnavailable",
     "CacheStore",
     "Configuration",
     "ConfigurationSpace",
     "ConfigurationEvaluator",
+    "EvaluationBackend",
+    "HybridBackend",
     "JsonFileStore",
+    "Measurement",
+    "MeasuredCBackend",
+    "MeasuredPythonBackend",
     "MemoryStore",
+    "ModelBackend",
     "ShardedStore",
     "EvaluationResult",
+    "available_backends",
+    "parse_backend_uri",
+    "register_backend",
+    "resolve_backend",
     "EXECUTORS",
     "ExecutorFallbackWarning",
     "ExhaustiveSearch",

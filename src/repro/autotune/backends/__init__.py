@@ -1,0 +1,50 @@
+"""Pluggable evaluation backends: how a candidate configuration gets a cost.
+
+One URI-selected interface (:class:`EvaluationBackend`: ``prepare`` once per
+request, ``measure`` per candidate) with four implementations:
+
+========================  ===========================================================
+``model:``                analytical GPU-model pricing (default; Section 4.3)
+``measure-py:``           execute the ``lower-py`` stage artifact, timed
+``measure-c:``            compile + time the emitted C harness (needs a toolchain)
+``hybrid:A>B?top=K``      A prunes the search, B re-ranks the top-K survivors
+========================  ===========================================================
+
+Every :class:`Measurement` carries its ``kind`` (``model`` / ``measured-py``
+/ ``measured-c``) into reports and the persistent cache, and the backend
+identity is part of the tuning fingerprint — model-priced and measured
+results never collide under one cache key.
+"""
+
+from repro.autotune.backends.base import (
+    BACKEND_SCHEMES,
+    BackendUnavailable,
+    EvaluationBackend,
+    Measurement,
+    available_backends,
+    parse_backend_uri,
+    register_backend,
+    resolve_backend,
+    split_options,
+)
+from repro.autotune.backends.hybrid import HybridBackend
+from repro.autotune.backends.measured_c import MeasuredCBackend
+from repro.autotune.backends.measured_py import MeasuredPythonBackend, trimmed_median
+from repro.autotune.backends.model import ModelBackend
+
+__all__ = [
+    "BACKEND_SCHEMES",
+    "BackendUnavailable",
+    "EvaluationBackend",
+    "HybridBackend",
+    "Measurement",
+    "MeasuredCBackend",
+    "MeasuredPythonBackend",
+    "ModelBackend",
+    "available_backends",
+    "parse_backend_uri",
+    "register_backend",
+    "resolve_backend",
+    "split_options",
+    "trimmed_median",
+]

@@ -1,0 +1,188 @@
+"""The measured-C backend: compile the emitted C harness and time the binary.
+
+The closest this repo gets to the paper's actual loop (nvcc-compiled CUDA
+timed on the 8800 GTX): each candidate's mapped program is emitted as a
+self-contained C99 timing harness (:func:`repro.codegen.emit_c_harness` —
+the same loop structure, guards and scratchpad copy nests the ``emit`` pass
+renders, but compilable), built with the host toolchain at ``-O2``, and run;
+the binary itself performs the warmup + repeat loop and reports one
+nanosecond wall time per timed run, which this backend reduces to an
+outlier-trimmed median.
+
+Hosts without a C toolchain get a clean :class:`~repro.autotune.backends.
+BackendUnavailable` at :meth:`prepare` time — before any tuning work starts —
+never a per-candidate crash.  Discovery is :func:`repro.codegen.toolchain.
+find_c_compiler` (``cc=`` URI option → ``$CC`` → ``cc``/``gcc``/``clang``).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.codegen.emit_c_exec import emit_c_harness
+from repro.codegen.toolchain import find_c_compiler
+from repro.compiler import CompilationSession
+from repro.machine.spec import GPUSpec
+
+from repro.autotune.backends.base import (
+    BackendUnavailable,
+    EvaluationBackend,
+    Measurement,
+    parse_timing_options,
+    register_backend,
+    validate_timing_knobs,
+)
+from repro.autotune.backends.measured_py import trimmed_median
+
+#: ceiling on one candidate's compile or run, so a pathological mapping
+#: cannot wedge a tuning worker forever
+SUBPROCESS_TIMEOUT_S = 120.0
+
+
+@register_backend
+class MeasuredCBackend(EvaluationBackend):
+    """Compile each mapping's C harness with the host toolchain and time it."""
+
+    scheme = "measure-c"
+    kind = "measured-c"
+
+    deterministic = False
+    measures_wall_clock = True
+
+    def __init__(
+        self,
+        cc: Optional[str] = None,
+        warmup: int = 1,
+        repeat: int = 5,
+        trim: float = 0.2,
+    ) -> None:
+        super().__init__()
+        validate_timing_knobs(warmup, repeat, trim)
+        self.cc = cc
+        self.warmup = warmup
+        self.repeat = repeat
+        self.trim = trim
+        self._compiler: Optional[str] = None
+
+    @classmethod
+    def from_options(cls, options: Mapping[str, str]) -> "MeasuredCBackend":
+        timing = parse_timing_options(cls.scheme, options, extra=("cc",))
+        return cls(cc=options.get("cc"), **timing)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def availability(self) -> Optional[str]:
+        if find_c_compiler(self.cc) is None:
+            wanted = self.cc or "$CC, cc, gcc, clang"
+            return f"no C toolchain found (looked for: {wanted})"
+        return None
+
+    def prepare(
+        self,
+        session: CompilationSession,
+        spec: GPUSpec,
+        seed: int = 0,
+        reuse_analysis: bool = True,
+    ) -> None:
+        reason = self.availability()
+        if reason is not None:
+            raise BackendUnavailable(f"backend {self.uri()!r} is unavailable: {reason}")
+        super().prepare(session, spec, seed=seed, reuse_analysis=reuse_analysis)
+        self._compiler = find_c_compiler(self.cc)
+
+    # -- measurement -------------------------------------------------------------
+    def _measure(self, configuration: Any) -> Measurement:
+        session, spec = self._require_prepared()
+        if self._compiler is None:  # re-prepared lazily after pickling
+            self._compiler = find_c_compiler(self.cc)
+            if self._compiler is None:
+                raise BackendUnavailable(
+                    f"backend {self.uri()!r} lost its toolchain after pickling"
+                )
+        mapped = session.replay(from_stage="tiling", config=configuration)
+        source = emit_c_harness(
+            mapped.program,
+            param_values=mapped.param_binding,
+            seed=self._seed,
+            warmup=self.warmup,
+            repeat=self.repeat,
+        )
+        with tempfile.TemporaryDirectory(prefix="repro-measure-c-") as workdir:
+            c_path = Path(workdir) / "kernel.c"
+            bin_path = Path(workdir) / "kernel"
+            c_path.write_text(source)
+            compile_cmd = [self._compiler, "-O2", "-o", str(bin_path), str(c_path), "-lm"]
+            try:
+                compiled = subprocess.run(
+                    compile_cmd, capture_output=True, text=True, timeout=SUBPROCESS_TIMEOUT_S
+                )
+                if compiled.returncode != 0:
+                    raise RuntimeError(
+                        f"C compilation failed ({' '.join(compile_cmd)}):\n{compiled.stderr}"
+                    )
+                ran = subprocess.run(
+                    [str(bin_path)], capture_output=True, text=True, timeout=SUBPROCESS_TIMEOUT_S
+                )
+            except subprocess.TimeoutExpired as error:
+                # the bounded-time promise: a pathological mapping errors
+                # cleanly like every other infrastructure failure here
+                raise RuntimeError(
+                    f"measure-c candidate exceeded {SUBPROCESS_TIMEOUT_S:.0f}s: {error}"
+                ) from None
+            if ran.returncode != 0:
+                raise RuntimeError(
+                    f"measured binary exited {ran.returncode}: {ran.stderr.strip()}"
+                )
+        # Parse outside the ValueError→infeasible net of measure(): garbage on
+        # the harness's stdout is an infrastructure failure to surface loudly,
+        # never a silently "infeasible" mapping.
+        try:
+            times_ms: List[float] = [
+                int(line) / 1e6 for line in ran.stdout.split() if line.strip()
+            ]
+        except ValueError:
+            raise RuntimeError(
+                f"measured binary produced non-numeric timing output: {ran.stdout!r}"
+            ) from None
+        if len(times_ms) != self.repeat:
+            raise RuntimeError(
+                f"measured binary reported {len(times_ms)} samples, expected {self.repeat}"
+            )
+        time_ms = trimmed_median(times_ms, self.trim)
+        metadata: Dict[str, Any] = {
+            "cycles": time_ms * 1e3 * spec.cycles_per_us,
+            "shared_bytes_per_block": mapped.geometry.shared_memory_per_block_bytes,
+            "compiler": self._compiler,
+            "warmup": self.warmup,
+            "repeat": self.repeat,
+            "trim": self.trim,
+            "times_ms": times_ms,
+            "checksum": ran.stderr.strip(),
+            "source_lines": len(source.splitlines()),
+        }
+        return Measurement(time_ms=time_ms, kind=self.kind, metadata=metadata)
+
+    # -- identity ----------------------------------------------------------------
+    def signature(self) -> Dict[str, Any]:
+        # the compiler *request* (cc=...) fingerprints; the resolved absolute
+        # path does not — two hosts with gcc at different paths share entries
+        return {
+            "scheme": self.scheme,
+            "cc": self.cc,
+            "warmup": self.warmup,
+            "repeat": self.repeat,
+            "trim": self.trim,
+        }
+
+    def uri(self) -> str:
+        options = [f"warmup={self.warmup}", f"repeat={self.repeat}", f"trim={self.trim}"]
+        if self.cc:
+            options.insert(0, f"cc={self.cc}")
+        return f"{self.scheme}:{','.join(options)}"
+
+    def describe(self) -> str:
+        compiler = find_c_compiler(self.cc)
+        status = compiler if compiler else "UNAVAILABLE: no toolchain"
+        return f"compile + time the emitted C harness ({status})"

@@ -1,0 +1,85 @@
+"""The analytical-model backend: today's default pricing, now pluggable.
+
+Extracted from the old hard-wired ``ConfigurationEvaluator`` body: replay the
+candidate through the shared :class:`~repro.compiler.CompilationSession`
+(affine analysis frozen, tiling/scratchpad/mapping re-run), wrap the mapped
+kernel into a :class:`~repro.machine.gpu.KernelLaunch`, and price it on the
+:class:`~repro.machine.gpu.GPUPerformanceModel` — the stand-in for a run on
+the paper's GeForce 8800 GTX.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.compiler import CompilationSession
+from repro.machine.gpu import GPUPerformanceModel, KernelLaunch
+from repro.machine.spec import GPUSpec
+
+from repro.autotune.backends.base import (
+    EvaluationBackend,
+    Measurement,
+    register_backend,
+)
+
+
+@register_backend
+class ModelBackend(EvaluationBackend):
+    """Price candidates on the analytical GPU performance model (default)."""
+
+    scheme = "model"
+    kind = "model"
+
+    _TRANSIENT = ("_model",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._model: Optional[GPUPerformanceModel] = None
+
+    def prepare(
+        self,
+        session: CompilationSession,
+        spec: GPUSpec,
+        seed: int = 0,
+        reuse_analysis: bool = True,
+    ) -> None:
+        super().prepare(session, spec, seed=seed, reuse_analysis=reuse_analysis)
+        self._model = GPUPerformanceModel(spec)
+
+    def _compile(self, configuration: Any):
+        session, _spec = self._require_prepared()
+        if self._reuse_analysis:
+            return session.replay(from_stage="tiling", config=configuration)
+        # Legacy cost model: a cold session per candidate re-runs every
+        # stage, exactly like the old monolithic compile_with_config.
+        cold = CompilationSession(
+            session.program,
+            spec=session.spec,
+            options=session.options,
+            param_values=session.param_values,
+        )
+        return cold.replay(from_stage="analysis", config=configuration)
+
+    def _measure(self, configuration: Any) -> Measurement:
+        _session, spec = self._require_prepared()
+        if self._model is None:  # re-prepared lazily after pickling
+            self._model = GPUPerformanceModel(spec)
+        mapped = self._compile(configuration)
+        launch = KernelLaunch(
+            workload=mapped.workload,
+            geometry=mapped.geometry,
+            global_sync_rounds=mapped.global_sync_rounds,
+        )
+        time_us = self._model.execution_time_us(launch)
+        metadata: Dict[str, Any] = {
+            "cycles": time_us * spec.cycles_per_us,
+            "breakdown": self._model.breakdown(launch),
+            "shared_bytes_per_block": mapped.geometry.shared_memory_per_block_bytes,
+        }
+        return Measurement(time_ms=time_us / 1000.0, kind=self.kind, metadata=metadata)
+
+    def uri(self) -> str:
+        return "model:"
+
+    def describe(self) -> str:
+        return "analytical GPU-model pricing (the Section-4.3 cost model; default)"

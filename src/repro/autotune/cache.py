@@ -59,12 +59,18 @@ def fingerprint(
     strategy_signature: Mapping[str, Any],
     space_signature: Mapping[str, Any],
     check_signature: Optional[Mapping[str, Any]] = None,
+    backend_signature: Optional[Mapping[str, Any]] = None,
 ) -> str:
     """Stable key of one tuning request.
 
     ``check_signature`` carries the correctness-check request (enabled flag,
     spot-check program, input seed) — a report produced *without* spot-checks
-    must not satisfy a request *with* them.
+    must not satisfy a request *with* them.  ``backend_signature`` carries
+    the evaluation backend's identity (scheme plus its knobs) — model-priced
+    and measured results must never collide under one key.  The default
+    model backend contributes **nothing** to the payload, keeping its
+    fingerprints byte-identical to the pre-backend era so existing warm
+    caches stay warm.
     """
     binding = program.bound_params(param_values)
     payload = {
@@ -77,6 +83,9 @@ def fingerprint(
         "space": dict(space_signature),
         "check": dict(check_signature or {}),
     }
+    backend_payload = dict(backend_signature or {})
+    if backend_payload and backend_payload != {"scheme": "model"}:
+        payload["backend"] = backend_payload
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
@@ -240,6 +249,22 @@ class TuningCache:
         """Every persisted (key, value) pair, oldest insertion first."""
         with self._mutex:
             return list(self.store.scan())
+
+    def measurement_kind_counts(self) -> Dict[str, int]:
+        """Entry counts per best-result ``measurement.kind`` provenance.
+
+        Entries written before measurement provenance existed count as
+        ``"model"`` (the only way a time could be obtained then).  An O(n)
+        scan — meant for the ``cache-stats`` CLI and monitoring, not hot
+        paths.
+        """
+        counts: Dict[str, int] = {}
+        for _key, entry in self.scan():
+            best = entry.get("best") or {}
+            measurement = best.get("measurement") or {}
+            kind = measurement.get("kind", "model")
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
 
     def compact(self) -> Dict[str, Any]:
         """Reclaim backend dead space (tombstones, dead log records, ...)."""

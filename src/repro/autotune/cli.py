@@ -21,6 +21,12 @@ maintenance subcommands::
     python -m repro.autotune cache-prune --cache dir:.autotune-cache --max-entries 64
     python -m repro.autotune cache-migrate .autotune-cache.json dir:.autotune-cache
 
+Tune by *measuring* the emitted program instead of pricing the model — the
+paper's empirical loop (see ``python -m repro.autotune backends``)::
+
+    python -m repro.autotune matmul --size m=16 n=16 k=16 \\
+        --backend 'hybrid:model>measure-py?top=4'
+
 Inspect the staged compiler (per-stage timings, artifact fingerprints, and
 the replay-from-stage reuse) for one kernel::
 
@@ -34,8 +40,13 @@ import sys
 import warnings
 from typing import Dict, List, Optional, Sequence
 
-from repro.compiler import CompilationSession, counting_compiles
+from repro.compiler import CompilationSession, DEFAULT_PASSES, counting_compiles
 from repro.kernels.registry import available_kernels, get_kernel
+from repro.autotune.backends import (
+    BackendUnavailable,
+    available_backends,
+    parse_backend_uri,
+)
 from repro.autotune.cache import TuningCache
 from repro.autotune.store import migrate_store, ordered_cache_stats
 from repro.autotune.search import EXECUTORS, STRATEGIES, ExecutorFallbackWarning
@@ -64,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.autotune",
         description="Empirically autotune a kernel's mapping on the machine models.",
         epilog="maintenance subcommands (dispatched before tuning arguments): "
+        "'backends' lists the URI-selectable evaluation backends; "
         "'inspect-stages KERNEL' shows the staged compiler's per-stage "
         "timings and artifact fingerprints; "
         "'cache-stats --cache STORE' prints cache statistics; "
@@ -102,6 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="STORE",
         help="persistent cache store: PATH.json, dir:DIR (sharded), or log:FILE",
+    )
+    parser.add_argument(
+        "--backend",
+        default="model:",
+        metavar="URI",
+        help="evaluation backend: model: (default analytical pricing), "
+        "measure-py:[warmup=..,repeat=..,trim=..] (execute the emitted Python, timed), "
+        "measure-c:[cc=..] (compile + time the emitted C), or "
+        "hybrid:model>measure-py?top=K (model prunes, measurement re-ranks); "
+        "see the 'backends' subcommand",
     )
     parser.add_argument("--seed", type=int, default=0, help="search / input seed")
     parser.add_argument(
@@ -171,6 +193,48 @@ def cache_stats_main(argv: Sequence[str]) -> int:
     print(f"cache {args.cache}")
     for field, value in ordered_cache_stats(stats):
         print(f"  {field}: {value}")
+    kinds = cache.measurement_kind_counts()
+    rendered = " ".join(f"{kind}={kinds[kind]}" for kind in sorted(kinds)) or "none"
+    print(f"  kinds: {rendered}")
+    return 0
+
+
+def backends_main(argv: Sequence[str]) -> int:
+    """``backends``: list the registered evaluation backends and availability."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.autotune backends",
+        description="List the URI-selectable evaluation backends "
+        "(how a candidate configuration gets a cost).",
+    )
+    parser.parse_args(argv)
+    examples = {
+        "model": "model:",
+        "measure-py": "measure-py:warmup=1,repeat=5,trim=0.2",
+        "measure-c": "measure-c:cc=gcc,repeat=5",
+        "hybrid": "hybrid:model>measure-py?top=8",
+    }
+    for scheme in available_backends():
+        # construct through the parser — the same path --backend takes — so
+        # registered third-party backends with mandatory arguments degrade
+        # to a listed-but-unexemplified row instead of a traceback.  Probe
+        # availability from the *default* construction, not the example: the
+        # example may pin e.g. cc=gcc while the default finds clang fine.
+        example = examples.get(scheme, f"{scheme}:")
+        backend = None
+        for uri in (f"{scheme}:", example):
+            try:
+                backend = parse_backend_uri(uri)
+                break
+            except (ValueError, TypeError):
+                continue
+        if backend is None:
+            print(f"{scheme:12s} (registered; no default construction)")
+            continue
+        reason = backend.availability()
+        status = "available" if reason is None else f"unavailable: {reason}"
+        print(f"{scheme:12s} {status}")
+        print(f"{'':12s}   {backend.describe()}")
+        print(f"{'':12s}   e.g. --backend '{example}'")
     return 0
 
 
@@ -253,7 +317,10 @@ def inspect_stages_main(argv: Sequence[str]) -> int:
         print(f"error: {message}", file=sys.stderr)
         return 2
 
-    session = CompilationSession(program)
+    # The lower-py terminal pass rides along so its timing shows in the
+    # table (it runs once, during the base compile — replay stops at
+    # mapping, mirroring what a tuning request does per candidate).
+    session = CompilationSession(program, passes=(*DEFAULT_PASSES, "lower-py"))
     mapped = session.compile()
     config = Configuration.from_options(session.options, mapped.tile_sizes)
     session.replay(from_stage="tiling", config=config)
@@ -286,6 +353,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "inspect-stages":
         return inspect_stages_main(argv[1:])
+    if argv and argv[0] == "backends":
+        return backends_main(argv[1:])
     if argv and argv[0] == "cache-stats":
         return cache_stats_main(argv[1:])
     if argv and argv[0] == "cache-prune":
@@ -321,23 +390,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     try:
         cache = TuningCache(args.cache) if args.cache else None
-    except ValueError as error:  # e.g. an unknown store scheme
+        parse_backend_uri(args.backend)  # typo → usage error before any work
+    except ValueError as error:  # e.g. an unknown store or backend scheme
         print(f"error: {error}", file=sys.stderr)
         return 2
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always", RuntimeWarning)
         with counting_compiles() as compiles:
-            report = autotune(
-                program,
-                strategy=args.strategy,
-                max_workers=args.workers,
-                executor=args.executor,
-                cache=cache,
-                seed=args.seed,
-                space_options=space_options,
-                check_correctness=args.check,
-                check_program=kernel.build_check() if args.check else None,
-            )
+            try:
+                report = autotune(
+                    program,
+                    strategy=args.strategy,
+                    max_workers=args.workers,
+                    executor=args.executor,
+                    cache=cache,
+                    seed=args.seed,
+                    space_options=space_options,
+                    check_correctness=args.check,
+                    check_program=kernel.build_check() if args.check else None,
+                    backend=args.backend,
+                )
+            except BackendUnavailable as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 3
     for warning in caught:  # surface e.g. the process→thread pickle fallback
         print(f"warning: {warning.message}", file=sys.stderr)
     fell_back_to_threads = any(
@@ -359,19 +434,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"pipeline compiles this call: {compiles.count}{suffix}")
     if cache is not None:
         print(f"cache: {cache.stats()} at {cache.uri}")
+    # Rank results of the winning provenance first: under a hybrid backend,
+    # measured milliseconds and model milliseconds are not comparable, so a
+    # model-priced survivor must not appear to outrank the measured winner.
+    best_kind = report.best.measurement_kind
     ranked = sorted(
         (r for r in report.results if r.feasible),
-        key=lambda r: (r.time_ms, r.configuration.key()),
+        key=lambda r: (r.measurement_kind != best_kind, r.time_ms, r.configuration.key()),
     )
     print(f"top {min(args.top, len(ranked))} of {len(report.results)} evaluated:")
     for result in ranked[: args.top]:
         config = result.configuration
         tiles = ",".join(f"{k}={v}" for k, v in config.tile_sizes)
         checked = "" if result.correct is None else f" correct={result.correct}"
+        kind = result.measurement_kind
+        provenance = "" if kind == "model" else f" [{kind}]"
         print(
             f"  {result.time_ms:9.3f} ms  blocks={config.num_blocks:<4d} "
             f"threads={config.threads_per_block:<4d} tiles[{tiles}] "
-            f"spm={'on' if config.use_scratchpad else 'off'}{checked}"
+            f"spm={'on' if config.use_scratchpad else 'off'}{checked}{provenance}"
         )
     return 0
 

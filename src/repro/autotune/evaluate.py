@@ -1,17 +1,23 @@
-"""Pricing (and optionally verifying) one mapping configuration.
+"""Costing (and optionally verifying) one mapping configuration.
 
 An evaluation replays a :class:`~repro.autotune.space.Configuration` through
-a shared :class:`repro.compiler.CompilationSession` —
-``session.replay(from_stage="tiling", config=...)`` — and prices the
-resulting launch on the GPU performance model, standing in for a run on the
-paper's GeForce 8800 GTX.  Because the session freezes the config-invariant
-affine-analysis artifacts, a tuning request analyses the program **once** and
-every candidate replays only the tiling/scratchpad/mapping stages (set
-``reuse_analysis=False`` to recover the legacy one-monolithic-compile-per-
-candidate behaviour, e.g. for benchmarking the difference).  Configurations
-the machine cannot execute (e.g. a block's buffers exceed the scratchpad)
-come back infeasible rather than raising, so search strategies can treat the
-evaluator as total.
+a shared :class:`repro.compiler.CompilationSession` and asks a pluggable
+:class:`~repro.autotune.backends.EvaluationBackend` what it costs — the
+analytical GPU model by default (``model:``, the stand-in for a run on the
+paper's GeForce 8800 GTX), or a *measured* backend that actually executes
+the mapped program (``measure-py:`` / ``measure-c:`` / ``hybrid:...`` — see
+:mod:`repro.autotune.backends`).  Because the session freezes the
+config-invariant affine-analysis artifacts, a tuning request analyses the
+program **once** and every candidate replays only the tiling/scratchpad/
+mapping stages (set ``reuse_analysis=False`` to recover the legacy
+one-monolithic-compile-per-candidate behaviour, e.g. for benchmarking the
+difference).  Configurations the machine cannot execute (e.g. a block's
+buffers exceed the scratchpad) come back infeasible rather than raising, so
+search strategies can treat the evaluator as total.
+
+Every :class:`EvaluationResult` carries its :class:`~repro.autotune.backends.
+Measurement` — ``measurement.kind`` records whether the time was modelled or
+measured, and travels into reports and the persistent cache.
 
 With ``check_correctness`` enabled the mapped program is additionally run
 through the reference interpreter against the original program on small
@@ -22,22 +28,22 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.compiler import CompilationSession
 from repro.core.options import MappingOptions
 from repro.ir.program import Program
-from repro.machine.gpu import GPUPerformanceModel, KernelLaunch
 from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
 from repro.runtime.interpreter import run_program
+from repro.autotune.backends import EvaluationBackend, Measurement, resolve_backend
 from repro.autotune.space import Configuration
 
 
 @dataclass
 class EvaluationResult:
-    """Outcome of pricing one configuration."""
+    """Outcome of costing one configuration."""
 
     configuration: Configuration
     time_ms: float
@@ -48,6 +54,13 @@ class EvaluationResult:
     breakdown: Dict[str, float] = field(default_factory=dict)
     #: ``None`` when no spot-check ran, otherwise the verdict
     correct: Optional[bool] = None
+    #: how ``time_ms`` was obtained (kind, per-run samples, ...)
+    measurement: Optional[Measurement] = None
+
+    @property
+    def measurement_kind(self) -> str:
+        """Provenance of the time: ``model`` unless a backend measured it."""
+        return self.measurement.kind if self.measurement is not None else "model"
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -59,10 +72,12 @@ class EvaluationResult:
             "shared_bytes_per_block": self.shared_bytes_per_block,
             "breakdown": dict(self.breakdown),
             "correct": self.correct,
+            "measurement": self.measurement.to_dict() if self.measurement else None,
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "EvaluationResult":
+        measurement = payload.get("measurement")
         return cls(
             configuration=Configuration.from_dict(payload["configuration"]),
             time_ms=payload["time_ms"],
@@ -72,11 +87,36 @@ class EvaluationResult:
             shared_bytes_per_block=payload.get("shared_bytes_per_block", 0),
             breakdown=dict(payload.get("breakdown", {})),
             correct=payload.get("correct"),
+            measurement=Measurement.from_dict(measurement) if measurement else None,
         )
 
 
+def result_from_measurement(
+    config: Configuration, measurement: Measurement
+) -> EvaluationResult:
+    """Wrap a backend measurement into an :class:`EvaluationResult`."""
+    metadata = measurement.metadata
+    return EvaluationResult(
+        configuration=config,
+        time_ms=measurement.time_ms,
+        cycles=metadata.get("cycles", float("inf")),
+        feasible=measurement.feasible,
+        error=measurement.error,
+        shared_bytes_per_block=metadata.get("shared_bytes_per_block", 0),
+        breakdown=dict(metadata.get("breakdown", {})),
+        measurement=measurement,
+    )
+
+
 class ConfigurationEvaluator:
-    """Prices configurations of one (program, machine, params) instance."""
+    """Costs configurations of one (program, machine, params) instance.
+
+    A thin orchestrator: the shared compilation session and the correctness
+    spot-check live here; *how* a candidate gets a cost is the pluggable
+    ``backend``'s business (a URI string, an
+    :class:`~repro.autotune.backends.EvaluationBackend` instance, or ``None``
+    for the analytical model).
+    """
 
     def __init__(
         self,
@@ -89,6 +129,7 @@ class ConfigurationEvaluator:
         seed: int = 0,
         session: Optional[CompilationSession] = None,
         reuse_analysis: bool = True,
+        backend: Union[str, EvaluationBackend, None] = None,
     ) -> None:
         """``check_program``: a small-size twin of ``program`` to verify
         functionally (defaults to ``program`` itself — only sensible when the
@@ -99,6 +140,11 @@ class ConfigurationEvaluator:
         lazily otherwise).  ``reuse_analysis=False`` compiles every
         configuration from a cold session — the legacy monolithic
         ``compile_with_config`` cost model, kept for benchmarking.
+
+        ``backend``: raises :class:`~repro.autotune.backends.
+        BackendUnavailable` eagerly when the host cannot run it (e.g.
+        ``measure-c:`` without a toolchain) — a doomed request must fail
+        before any tuning work starts.
         """
         self.program = program
         self.spec = spec
@@ -108,14 +154,18 @@ class ConfigurationEvaluator:
         self.check_program = check_program or program
         self.seed = seed
         self.reuse_analysis = reuse_analysis
-        self._model = GPUPerformanceModel(spec)
+        self.backend = resolve_backend(backend)
         self._session = session
         self._check_session: Optional[CompilationSession] = None
         self._lock = threading.Lock()
+        self._prepared = False
+        # fail fast on unavailable backends (and freeze per-request state)
+        self._ensure_prepared()
 
-    # The sessions travel with the evaluator to process-pool workers (they
-    # pickle minus their locks), frozen analysis artifacts included — a
-    # worker replays candidates without ever re-running the analysis stage.
+    # The sessions and backend travel with the evaluator to process-pool
+    # workers (they pickle minus their locks), frozen analysis artifacts
+    # included — a worker replays candidates without ever re-running the
+    # analysis stage.
     def __getstate__(self) -> Dict[str, Any]:
         state = dict(self.__dict__)
         state["_lock"] = None
@@ -143,44 +193,34 @@ class ConfigurationEvaluator:
                 self._session = self._fresh_session(self.program)
             return self._session
 
-    def _compile(self, config: Configuration):
-        if self.reuse_analysis:
-            return self.session.replay(from_stage="tiling", config=config)
-        # Legacy cost model: a cold session per candidate re-runs every
-        # stage, exactly like the old monolithic compile_with_config.
-        return self._fresh_session(self.program).replay(
-            from_stage="analysis", config=config
+    def _ensure_prepared(self) -> None:
+        """Prepare the backend once (idempotent; re-runs after unpickling)."""
+        if self._prepared and self.backend.prepared:
+            return
+        self.backend.prepare(
+            self.session,
+            self.spec,
+            seed=self.seed,
+            reuse_analysis=self.reuse_analysis,
         )
+        self._prepared = True
 
     def evaluate(self, config: Configuration) -> EvaluationResult:
-        """Compile, price, and optionally spot-check one configuration."""
-        try:
-            mapped = self._compile(config)
-            launch = KernelLaunch(
-                workload=mapped.workload,
-                geometry=mapped.geometry,
-                global_sync_rounds=mapped.global_sync_rounds,
-            )
-            time_us = self._model.execution_time_us(launch)
-        except ValueError as error:
-            return EvaluationResult(
-                configuration=config,
-                time_ms=float("inf"),
-                cycles=float("inf"),
-                feasible=False,
-                error=str(error),
-            )
-        result = EvaluationResult(
-            configuration=config,
-            time_ms=time_us / 1000.0,
-            cycles=time_us * self.spec.cycles_per_us,
-            feasible=True,
-            shared_bytes_per_block=mapped.geometry.shared_memory_per_block_bytes,
-            breakdown=self._model.breakdown(launch),
-        )
-        if self.check_correctness:
+        """Compile, cost, and optionally spot-check one configuration."""
+        self._ensure_prepared()
+        result = result_from_measurement(config, self.backend.measure(config))
+        if result.feasible and self.check_correctness:
             result.correct = self.spot_check(config)
         return result
+
+    def finalize(self, results: List[EvaluationResult], ensure=()) -> List[EvaluationResult]:
+        """The backend's post-search hook (hybrid re-ranking; default no-op)."""
+        self._ensure_prepared()
+        return self.backend.finalize(results, self, ensure=ensure)
+
+    def select_best(self, results: List[EvaluationResult]) -> EvaluationResult:
+        """The backend's winner among finalized results."""
+        return self.backend.select_best(results)
 
     def spot_check(self, config: Configuration) -> bool:
         """Interpret the mapped small-size program against the reference."""

@@ -15,6 +15,13 @@ All strategies funnel candidate batches through an *evaluate-many* callable;
 Results always come back in candidate order and winners are tie-broken on the
 configuration key, so a parallel run is bit-for-bit identical to a serial one
 under either executor.
+
+The evaluator ships whole to process workers — its compilation session
+(frozen analysis artifacts included) *and* its evaluation backend.  Backends
+keep their picklable spec (scheme + knobs + derived session) and drop any
+transient prepared state (performance models, toolchain paths), lazily
+re-preparing in the worker; an evaluator whose program or backend cannot
+pickle falls back to threads with :class:`ExecutorFallbackWarning`.
 """
 
 from __future__ import annotations

@@ -13,6 +13,7 @@ repeated requests are answered from disk with **zero** pipeline compiles
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
@@ -22,8 +23,9 @@ from repro.core.options import MappingOptions
 from repro.ir.printer import program_to_c
 from repro.ir.program import Program
 from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
+from repro.autotune.backends import EvaluationBackend, resolve_backend
 from repro.autotune.cache import TuningCache, fingerprint
-from repro.autotune.evaluate import ConfigurationEvaluator, EvaluationResult, best_result
+from repro.autotune.evaluate import ConfigurationEvaluator, EvaluationResult
 from repro.autotune.search import (
     EXECUTORS,
     SearchStrategy,
@@ -46,6 +48,8 @@ class TuningReport:
     results: List[EvaluationResult] = field(default_factory=list)
     from_cache: bool = False
     seed: int = 0
+    #: evaluation-backend URI the request ran under (provenance)
+    backend: str = "model:"
 
     @property
     def num_evaluations(self) -> int:
@@ -62,13 +66,15 @@ class TuningReport:
         best = self.best
         tiles = ", ".join(f"{k}={v}" for k, v in best.configuration.tile_sizes)
         source = "cache" if self.from_cache else f"{self.num_evaluations} evaluations"
+        kind = best.measurement_kind
+        provenance = "" if kind == "model" else f" via {kind}"
         return (
             f"{self.kernel_name}: best {best.time_ms:.3f} ms "
             f"(baseline {self.baseline.time_ms:.3f} ms, "
             f"{self.speedup_over_baseline:.2f}x) — blocks={best.configuration.num_blocks} "
             f"threads={best.configuration.threads_per_block} tiles[{tiles}] "
             f"scratchpad={'on' if best.configuration.use_scratchpad else 'off'} "
-            f"[{source}]"
+            f"[{source}]{provenance}"
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -81,6 +87,7 @@ class TuningReport:
             "baseline": self.baseline.to_dict(),
             "results": [r.to_dict() for r in self.results],
             "seed": self.seed,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -95,6 +102,7 @@ class TuningReport:
             results=[EvaluationResult.from_dict(r) for r in payload.get("results", [])],
             from_cache=from_cache,
             seed=payload.get("seed", 0),
+            backend=payload.get("backend", "model:"),
         )
 
 
@@ -121,6 +129,7 @@ def _prepare_request(
     space_options: Optional[SpaceOptions],
     check_correctness: bool,
     check_program: Optional[Program],
+    backend: Union[str, EvaluationBackend, None] = None,
 ):
     """Resolve one tuning request into (options, strategy, space, fingerprint).
 
@@ -131,9 +140,16 @@ def _prepare_request(
     same :class:`CompilationSession` later feeds the evaluator, so one
     request runs affine analysis exactly once however many candidates it
     evaluates.
+
+    The backend identity is a fingerprint ingredient: the same kernel tuned
+    under ``model:`` and under ``measure-py:`` occupies two distinct cache
+    keys (modelled and measured milliseconds are not comparable, so one must
+    never answer for the other).  Wall-clock backends additionally
+    fingerprint the input ``seed``.
     """
     options = options or MappingOptions()
     strategy = resolve_strategy(strategy, seed=seed)
+    backend = resolve_backend(backend)
     compile_session = CompilationSession(
         program, spec=spec, options=options, param_values=param_values
     )
@@ -150,6 +166,9 @@ def _prepare_request(
         # The spot-check program and input seed change every `correct` verdict.
         check_signature["seed"] = seed
         check_signature["program"] = program_to_c(check_program or program)
+    backend_signature = dict(backend.signature())
+    if not backend.deterministic:
+        backend_signature["seed"] = seed
     key = fingerprint(
         program,
         spec,
@@ -158,8 +177,9 @@ def _prepare_request(
         strategy.signature(),
         space.describe(),
         check_signature,
+        backend_signature,
     )
-    return options, strategy, space, key, compile_session
+    return options, strategy, space, key, compile_session, backend
 
 
 def tuning_fingerprint(
@@ -172,15 +192,16 @@ def tuning_fingerprint(
     space_options: Optional[SpaceOptions] = None,
     check_correctness: bool = False,
     check_program: Optional[Program] = None,
+    backend: Union[str, EvaluationBackend, None] = None,
 ) -> str:
     """The cache fingerprint :func:`autotune` would use for this request.
 
     Lets callers (notably :mod:`repro.service`) deduplicate identical
     in-flight requests and probe the cache without starting a tuning run.
     """
-    _options, _strategy, _space, key, _session = _prepare_request(
+    _options, _strategy, _space, key, _session, _backend = _prepare_request(
         program, spec, param_values, options, strategy, seed,
-        space_options, check_correctness, check_program,
+        space_options, check_correctness, check_program, backend,
     )
     return key
 
@@ -198,6 +219,7 @@ def autotune(
     space_options: Optional[SpaceOptions] = None,
     check_correctness: bool = False,
     check_program: Optional[Program] = None,
+    backend: Union[str, EvaluationBackend, None] = None,
 ) -> TuningReport:
     """Empirically tune the mapping of ``program`` on ``spec``.
 
@@ -220,11 +242,20 @@ def autotune(
         compile.
     seed:
         Drives every randomised search path (and the correctness spot-check
-        inputs), making runs reproducible.
+        and measured-backend inputs), making runs reproducible.
     check_correctness / check_program:
         Also verify each configuration through the reference interpreter
         (against ``check_program`` when the tuned problem is too large to
         interpret).
+    backend:
+        How candidates get a cost: a URI string (``"model:"`` — the default
+        analytical pricing — ``"measure-py:"``, ``"measure-c:cc=gcc"``,
+        ``"hybrid:model>measure-py?top=8"``) or an
+        :class:`~repro.autotune.backends.EvaluationBackend` instance.  The
+        backend identity is part of the cache fingerprint, so model-priced
+        and measured reports never answer for each other.  Raises
+        :class:`~repro.autotune.backends.BackendUnavailable` before any
+        tuning work when the host cannot run the backend.
     """
     if max_workers <= 0:
         raise ValueError("max_workers must be positive")
@@ -232,14 +263,29 @@ def autotune(
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     if cache is not None and not isinstance(cache, TuningCache):
         cache = TuningCache(cache)
-    options, strategy, space, key, compile_session = _prepare_request(
+    options, strategy, space, key, compile_session, backend = _prepare_request(
         program, spec, param_values, options, strategy, seed,
-        space_options, check_correctness, check_program,
+        space_options, check_correctness, check_program, backend,
     )
     if cache is not None:
         stored = cache.get(key)
         if stored is not None:
             return TuningReport.from_dict(stored, from_cache=True)
+
+    if max_workers > 1 and backend.measures_wall_clock:
+        # K concurrent timed runs contend for the same cores and inflate
+        # each other's perf_counter windows — the times the search trusts
+        # would be run-order noise.  (A hybrid with a model primary keeps
+        # its parallel search; its measured re-rank is serial by design.
+        # After the cache check: a warm hit evaluates nothing to serialize.)
+        warnings.warn(
+            f"backend {backend.uri()!r} times real executions; serializing "
+            f"evaluation (max_workers {max_workers} -> 1) so concurrent "
+            "candidates cannot skew each other's measurements",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        max_workers = 1
 
     evaluator = ConfigurationEvaluator(
         program,
@@ -250,6 +296,7 @@ def autotune(
         check_program=check_program,
         seed=seed,
         session=compile_session,
+        backend=backend,
     )
     with make_batch_evaluator(
         evaluator, max_workers=max_workers, executor=executor
@@ -259,6 +306,11 @@ def autotune(
         raise ValueError("search strategy produced no evaluations")
 
     seed_config = space.seed_configuration()
+    # The backend's post-search pass: the hybrid backend re-measures the
+    # top-K survivors (and the baseline) here; winner selection is the
+    # backend's too, so a model-priced survivor can never outrank a
+    # measured one on incomparable milliseconds.
+    results = evaluator.finalize(results, ensure=(seed_config,))
     baseline = next(
         (r for r in results if r.configuration == seed_config), results[0]
     )
@@ -267,10 +319,11 @@ def autotune(
         fingerprint=key,
         strategy=strategy.name,
         spec_name=spec.name,
-        best=best_result(results),
+        best=evaluator.select_best(results),
         baseline=baseline,
         results=results,
         seed=seed,
+        backend=backend.uri(),
     )
     if cache is not None:
         cache.put(key, report.to_dict())

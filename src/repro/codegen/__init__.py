@@ -11,13 +11,18 @@ programs as C-like text for inspection.
 from repro.codegen.scan import scan_polyhedron, loop_nest_for
 from repro.codegen.union_scan import scan_union
 from repro.codegen.emit_c import emit_c
+from repro.codegen.emit_c_exec import emit_c_harness
 from repro.codegen.emit_py import compile_to_python, emit_python_source
+from repro.codegen.toolchain import c_toolchain_skip_reason, find_c_compiler
 
 __all__ = [
     "scan_polyhedron",
     "loop_nest_for",
     "scan_union",
+    "c_toolchain_skip_reason",
     "emit_c",
+    "emit_c_harness",
     "compile_to_python",
     "emit_python_source",
+    "find_c_compiler",
 ]

@@ -1,0 +1,60 @@
+"""C toolchain discovery for the measured-C evaluation backend.
+
+The ``measure-c:`` backend compiles and times emitted C; whether that is
+possible depends on the host.  :func:`find_c_compiler` answers the question
+with ``shutil.which`` — honouring an explicit request (the backend's
+``cc=...`` URI option), then the ``CC`` environment variable, then the
+conventional compiler names — and returns ``None`` instead of raising when no
+toolchain exists, so callers can degrade cleanly (the backend raises
+:class:`~repro.autotune.backends.BackendUnavailable`, tests skip via
+:func:`c_toolchain_skip_reason`).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Optional, Sequence
+
+#: compiler names probed, in order, when neither ``cc=`` nor ``$CC`` is set
+DEFAULT_COMPILERS: Sequence[str] = ("cc", "gcc", "clang")
+
+
+def find_c_compiler(cc: Optional[str] = None) -> Optional[str]:
+    """Absolute path of a usable C compiler, or ``None``.
+
+    ``cc`` pins a specific compiler (name or path) — when given and not
+    found, the answer is ``None`` even if other compilers exist, so an
+    explicit ``measure-c:cc=...`` request never silently falls back to a
+    different toolchain.  Otherwise ``$CC`` is honoured first, then the
+    conventional names (``cc``, ``gcc``, ``clang``).
+    """
+    if cc is not None:
+        return shutil.which(cc)
+    env_cc = os.environ.get("CC")
+    if env_cc:
+        found = shutil.which(env_cc)
+        if found:
+            return found
+    for name in DEFAULT_COMPILERS:
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def c_toolchain_skip_reason(cc: Optional[str] = None) -> Optional[str]:
+    """``None`` when a toolchain is present, else a human-readable reason.
+
+    Designed for pytest markers::
+
+        requires_c_toolchain = pytest.mark.skipif(
+            c_toolchain_skip_reason() is not None,
+            reason=c_toolchain_skip_reason() or "",
+        )
+    """
+    if find_c_compiler(cc) is not None:
+        return None
+    probed = [cc] if cc is not None else [os.environ.get("CC") or "", *DEFAULT_COMPILERS]
+    names = ", ".join(name for name in probed if name)
+    return f"no C toolchain found (probed: {names})"

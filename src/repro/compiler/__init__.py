@@ -52,8 +52,10 @@ from repro.compiler.manager import PassManager, PassTiming
 from repro.compiler.passes import (
     DEFAULT_PASSES,
     PASS_REGISTRY,
+    TERMINAL_PASSES,
     AnalysisPass,
     EmitCPass,
+    LowerPyPass,
     MappingPass,
     Pass,
     PassContext,
@@ -75,9 +77,11 @@ __all__ = [
     "CompileCounter",
     "DEFAULT_PASSES",
     "EmitCPass",
+    "LowerPyPass",
     "MappedKernel",
     "MappingPass",
     "PASS_REGISTRY",
+    "TERMINAL_PASSES",
     "Pass",
     "PassContext",
     "PassManager",

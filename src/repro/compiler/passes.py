@@ -16,6 +16,10 @@ The paper's toolchain is explicitly staged, and the pass list mirrors it:
    8800 GTX).
 5. ``emit`` *(optional terminal pass, not in the default list)* — renders the
    mapped program as C-like text via :func:`repro.codegen.emit_c`.
+6. ``lower-py`` *(optional terminal pass)* — lowers the mapped program to
+   executable Python source via :func:`repro.codegen.emit_py.
+   emit_python_source`; the ``measure-py:`` evaluation backend executes and
+   times this artifact instead of pricing the model.
 
 Each :class:`Pass` declares which upstream stages it consumes (``inputs``)
 and which :class:`~repro.core.options.MappingOptions` fields it reads
@@ -542,12 +546,37 @@ class EmitCPass(Pass):
         return emit_c(mapped.program, header=header)
 
 
+class LowerPyPass(Pass):
+    """Optional terminal pass: lower the mapped program to executable Python.
+
+    The artifact value is plain Python source defining
+    ``kernel(arrays, params)`` (see :func:`repro.codegen.emit_py.
+    emit_python_source`), which the ``measure-py:`` evaluation backend
+    compiles with ``exec`` and *times* on seeded inputs — evaluation by
+    executing the emitted artifact, the paper's empirical loop, instead of
+    pricing the analytical model.
+    """
+
+    name = "lower-py"
+    inputs = ("mapping",)
+    option_fields = ("num_blocks", "threads_per_block", "use_scratchpad")
+
+    def run(self, ctx: PassContext) -> str:
+        from repro.codegen import emit_python_source
+
+        mapped: MappedKernel = ctx.value("mapping")
+        return emit_python_source(mapped.program)
+
+
 # -- registry -----------------------------------------------------------------------
 #: registered pass factories, keyed by stage name
 PASS_REGISTRY: Dict[str, Type[Pass]] = {}
 
-#: stage order of the standard compiler ("emit" is opt-in)
+#: stage order of the standard compiler ("emit" and "lower-py" are opt-in)
 DEFAULT_PASSES: Tuple[str, ...] = ("analysis", "tiling", "scratchpad", "mapping")
+
+#: terminal passes that may follow "mapping" (opt-in, one artifact each)
+TERMINAL_PASSES: Tuple[str, ...] = ("emit", "lower-py")
 
 
 def register_pass(factory: Type[Pass]) -> Type[Pass]:
@@ -558,7 +587,14 @@ def register_pass(factory: Type[Pass]) -> Type[Pass]:
     return factory
 
 
-for _factory in (AnalysisPass, TilingPass, ScratchpadPass, MappingPass, EmitCPass):
+for _factory in (
+    AnalysisPass,
+    TilingPass,
+    ScratchpadPass,
+    MappingPass,
+    EmitCPass,
+    LowerPyPass,
+):
     register_pass(_factory)
 
 

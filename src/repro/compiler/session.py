@@ -129,6 +129,37 @@ class CompilationSession:
         the tile sizes are explicit, the Section-4.3 search never runs on a
         config replay, which is what lets the autotuner evaluate many
         configurations cheaply.
+
+        Stops at the ``mapping`` stage: terminal passes (``emit``,
+        ``lower-py``) are opt-in per-candidate work — use
+        :meth:`replay_artifacts` with an explicit ``upto`` to run them.
+        """
+        upto = "mapping" if "mapping" in self.manager.stage_names else None
+        artifacts = self.replay_artifacts(
+            from_stage=from_stage, config=config, options=options, upto=upto
+        )
+        try:
+            return artifacts["mapping"].value
+        except KeyError:
+            raise ValueError(
+                "the session's pass list has no 'mapping' stage to replay"
+            ) from None
+
+    def replay_artifacts(
+        self,
+        from_stage: str = "tiling",
+        config: Any = None,
+        options: Optional[MappingOptions] = None,
+        upto: Optional[str] = None,
+    ) -> Dict[str, StageArtifact]:
+        """Like :meth:`replay`, returning every artifact the replay produced.
+
+        ``upto`` (inclusive, ``None`` = the whole pass list) extends the
+        replay through terminal passes: a session whose pass list ends in
+        ``lower-py`` can replay one candidate configuration all the way to its
+        executable-Python artifact (``artifacts["lower-py"].value``) — the
+        ``measure-py:`` evaluation backend's per-candidate path.  The mapping
+        artifact rides along under ``"mapping"``.
         """
         target = self._resolve_options(config, options)
         index = self.manager.stage_index(from_stage)
@@ -142,16 +173,32 @@ class CompilationSession:
             }
         self._validate_reuse(target, from_stage, reused)
         ctx = self._context(target, dict(reused))
-        # Stop at the mapping stage: terminal passes (emit) are per-session
-        # inspection tools, not per-candidate work.
-        upto = "mapping" if "mapping" in self.manager.stage_names else None
         self.manager.run(ctx, start_index=index, upto=upto)
-        try:
-            return ctx.artifacts["mapping"].value
-        except KeyError:
-            raise ValueError(
-                "the session's pass list has no 'mapping' stage to replay"
-            ) from None
+        return ctx.artifacts
+
+    def with_passes(self, passes: Sequence[Any]) -> "CompilationSession":
+        """A derived session over the same inputs with a different pass list.
+
+        The derived session shares this session's identity (program, spec,
+        options, binding) and adopts every already-frozen artifact whose stage
+        appears in the new pass list — so a backend that needs an extra
+        terminal pass (e.g. ``lower-py``) still reuses the one affine-analysis
+        run of the original session instead of re-analysing.
+        """
+        derived = CompilationSession(
+            self.program,
+            spec=self.spec,
+            options=self.options,
+            param_values=self.param_values,
+            passes=passes,
+        )
+        derived._base_fingerprint = self._base_fingerprint
+        stages = set(derived.manager.stage_names)
+        with self._lock:
+            for name, artifact in self._artifacts.items():
+                if name in stages:
+                    derived._artifacts[name] = artifact
+        return derived
 
     def _resolve_options(
         self, config: Any, options: Optional[MappingOptions]

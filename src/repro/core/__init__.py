@@ -10,15 +10,6 @@ are deprecation shims over :class:`repro.compiler.CompilationSession`.
 """
 
 from repro.core.options import MappingOptions
-from repro.core.pipeline import (
-    COMPILE_COUNTER,
-    CompilationSession,
-    CompileCount,
-    CompileCounter,
-    MappedKernel,
-    MappingPipeline,
-    counting_compiles,
-)
 
 __all__ = [
     "COMPILE_COUNTER",
@@ -30,3 +21,21 @@ __all__ = [
     "MappingPipeline",
     "counting_compiles",
 ]
+
+#: names re-exported from the (deprecated-shim) pipeline module, resolved
+#: lazily so that importing ``repro.core.options`` from inside
+#: ``repro.compiler`` does not drag the shim — and with it the whole
+#: compiler package — into a circular import
+_PIPELINE_EXPORTS = frozenset(name for name in __all__ if name != "MappingOptions")
+
+
+def __getattr__(name: str):
+    if name in _PIPELINE_EXPORTS:
+        from repro.core import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="problem-size overrides, e.g. --size m=256 n=256 k=256",
     )
     submit.add_argument("--strategy", default="pruned", choices=sorted(STRATEGIES))
+    submit.add_argument(
+        "--backend",
+        default="model:",
+        metavar="URI",
+        help="evaluation backend: model: (default), measure-py:[warmup=..,repeat=..], "
+        "measure-c:[cc=..], or hybrid:model>measure-py?top=K",
+    )
     submit.add_argument("--seed", type=int, default=0)
     submit.add_argument(
         "--eval-workers", type=int, default=1,
@@ -155,6 +162,7 @@ def _submit(args: argparse.Namespace) -> int:
         eval_workers=args.eval_workers,
         check_correctness=args.check,
         space=space or None,
+        backend=args.backend,
     )
     client = TuningClient(args.url)
     pending = client.submit(request)
@@ -173,6 +181,7 @@ def _submit(args: argparse.Namespace) -> int:
         return 1
     report = TuningReport.from_dict(job["report"], from_cache=bool(job["from_cache"]))
     print(report.summary())
+    print(f"backend: {report.backend} (best measured as: {report.best.measurement_kind})")
     print(f"from-cache: {'true' if job['from_cache'] else 'false'}")
     print(f"compiles: {job['compiles']}")
     if job.get("stages"):

@@ -7,6 +7,13 @@ Blocking and asynchronous usage::
     # blocking: submit and wait for the report
     report = client.tune(TuneRequest(kernel="matmul", sizes={"m": 256, "n": 256, "k": 256}))
 
+    # measured tuning: the backend URI travels in the request, the report's
+    # best result comes back with measurement-kind provenance
+    report = client.tune(
+        TuneRequest(kernel="matmul", backend="hybrid:model>measure-py?top=8")
+    )
+    assert report.best.measurement_kind == "measured-py"
+
     # asynchronous: fire requests, poll or block on the handles later
     pending = [client.submit(request) for request in requests]
     reports = [p.result(timeout=300) for p in pending]

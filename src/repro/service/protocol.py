@@ -58,6 +58,7 @@ from repro.core.options import MappingOptions
 from repro.ir.program import Program
 from repro.kernels.registry import TunableKernel, get_kernel
 from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
+from repro.autotune.backends import parse_backend_uri
 from repro.autotune.search import STRATEGIES
 from repro.autotune.session import tuning_fingerprint
 from repro.autotune.space import SpaceOptions
@@ -89,6 +90,9 @@ class TuneRequest:
     options: Optional[Dict[str, Any]] = None
     #: optional subset of :class:`SpaceOptions` fields
     space: Optional[Dict[str, Any]] = None
+    #: evaluation-backend URI (``model:``, ``measure-py:...``,
+    #: ``measure-c:...``, ``hybrid:model>measure-py?top=K``)
+    backend: str = "model:"
 
     def __post_init__(self) -> None:
         if not isinstance(self.kernel, str) or not self.kernel:
@@ -115,6 +119,11 @@ class TuneRequest:
             )
         if not isinstance(self.eval_workers, int) or self.eval_workers < 1:
             raise ValueError(f"eval_workers must be a positive integer, got {self.eval_workers!r}")
+        # Parse the backend URI eagerly: a typo must 400 at submission, not
+        # error a worker.  (Host *availability* — e.g. a missing C toolchain —
+        # is deliberately not checked here: the worker raising
+        # BackendUnavailable reports it per job.)
+        parse_backend_uri(self.backend)
         if self.space is not None:
             unknown = set(self.space) - set(_SPACE_KEYS)
             if unknown:
@@ -154,6 +163,7 @@ class TuneRequest:
             "check_correctness": self.check_correctness,
             "options": dict(self.options) if self.options else None,
             "space": dict(self.space) if self.space else None,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -207,6 +217,7 @@ class TuneRequest:
             space_options=space_options,
             check_correctness=self.check_correctness,
             check_program=check_program,
+            backend=self.backend,
         )
         return ResolvedRequest(
             request=self,

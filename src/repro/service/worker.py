@@ -61,6 +61,7 @@ def execute_request(
             space_options=resolved.space_options,
             check_correctness=request.check_correctness,
             check_program=resolved.check_program,
+            backend=request.backend,
         )
     return {
         "fingerprint": report.fingerprint,

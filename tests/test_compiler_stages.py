@@ -201,7 +201,7 @@ class TestPassManager:
         with pytest.raises(ValueError, match="unknown pass 'bogus'"):
             MappingPipeline(passes=["bogus"])
         assert sorted(PASS_REGISTRY) == sorted(
-            ["analysis", "tiling", "scratchpad", "mapping", "emit"]
+            ["analysis", "tiling", "scratchpad", "mapping", "emit", "lower-py"]
         )
 
     def test_duplicate_pass_names_rejected(self):

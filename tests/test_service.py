@@ -100,6 +100,20 @@ class TestTuneRequest:
         report = autotune(resolved.program, space_options=resolved.space_options)
         assert report.fingerprint == resolved.fingerprint
 
+    def test_backend_travels_and_splits_the_fingerprint(self):
+        base = matmul_request()
+        measured = matmul_request(backend="measure-py:warmup=0,repeat=2")
+        assert TuneRequest.from_dict(measured.to_dict()) == measured
+        assert TuneRequest.from_dict(base.to_dict()).backend == "model:"
+        # model-priced and measured requests must never dedup to one job
+        assert base.resolve().fingerprint != measured.resolve().fingerprint
+
+    def test_bad_backend_uri_rejected_at_validation(self):
+        with pytest.raises(ValueError, match="unknown evaluation backend"):
+            TuneRequest(kernel="matmul", backend="cuda:")
+        with pytest.raises(ValueError, match="key=value"):
+            TuneRequest(kernel="matmul", backend="measure-py:warmup")
+
 
 # -- worker ------------------------------------------------------------------------
 class TestWorker:
@@ -214,6 +228,30 @@ class TestHTTPServer:
         resolved = request.resolve()
         direct = autotune(resolved.program, space_options=resolved.space_options)
         assert served.to_dict() == direct.to_dict()
+
+    def test_hybrid_backend_round_trip(self, thread_server):
+        """submit --backend hybrid:...: measured provenance over the wire."""
+        client = TuningClient(thread_server.url)
+        request = matmul_request(
+            m=16,
+            backend="hybrid:model>measure-py:warmup=0,repeat=2?top=4",
+            space=WIDE_SPACE,
+        )
+        model_request = matmul_request(m=16, space=WIDE_SPACE)
+        pending = client.submit(request)
+        report = pending.result(timeout=300)
+        assert report.best.measurement_kind == "measured-py"
+        assert report.backend.startswith("hybrid:")
+        # a model-priced request for the same kernel is a different job/key
+        assert client.submit(model_request).fingerprint != pending.fingerprint
+
+    def test_unavailable_backend_reports_per_job_error(self, thread_server):
+        client = TuningClient(thread_server.url)
+        request = matmul_request(backend="measure-c:cc=definitely-not-a-compiler-xyz")
+        pending = client.submit(request)
+        job = pending.job(timeout=300)
+        assert job["status"] == "error"
+        assert "no C toolchain" in job["error"]
 
     def test_eight_concurrent_identical_requests_cost_one_tuning_run(self, thread_server):
         """The acceptance criterion: N identical in-flight requests, one compile run."""
