@@ -232,6 +232,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="small sizes for CI smoke runs (64 entries of 256 bytes)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        default=None,
+        help="merge results + telemetry counters into OUT (e.g. BENCH_telemetry.json)",
+    )
     args = parser.parse_args(argv)
     entries = 64 if args.quick else args.entries
     payload = 256 if args.quick else args.payload_bytes
@@ -245,6 +251,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"error: backend {backend!r} failed: {error}", file=sys.stderr)
                 return 1
     print_series("Cache store microbench (per-backend put/get/warm-hit)", rows)
+    if args.json:
+        from conftest import write_bench_json
+
+        write_bench_json(
+            args.json,
+            "bench_autotune_cache",
+            {"entries": entries, "payload_bytes": payload, "stores": rows},
+        )
+        print(f"json -> {args.json}")
     return 0
 
 

@@ -146,6 +146,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="small problem size for CI smoke runs"
     )
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        default=None,
+        help="merge results + telemetry counters into OUT (e.g. BENCH_telemetry.json)",
+    )
     args = parser.parse_args(argv)
     size = 16 if args.quick else args.size
 
@@ -160,6 +166,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"\nspearman rho {stats['spearman_rho']:.2f} over {stats['candidates']} "
         f"candidates; measured winner sits at model rank {stats['winner_model_rank']}"
     )
+    if args.json:
+        from conftest import write_bench_json
+
+        write_bench_json(
+            args.json,
+            "bench_backends",
+            {"size": size, "rank_agreement": stats, "tune_walltime": rows},
+        )
+        print(f"json -> {args.json}")
     return 0
 
 

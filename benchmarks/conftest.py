@@ -35,3 +35,41 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)
+
+
+def telemetry_counters() -> Dict[str, float]:
+    """Flatten the process-wide metrics registry for a benchmark JSON payload.
+
+    Labelled samples render in Prometheus selector syntax
+    (``repro_stage_runs_total{stage="tiling"}``) so the JSON stays greppable.
+    """
+    from repro.telemetry import METRICS, parse_prometheus_text
+
+    flat: Dict[str, float] = {}
+    for name, samples in parse_prometheus_text(METRICS.render()).items():
+        for labels, value in samples.items():
+            rendered = ",".join(f'{key}="{val}"' for key, val in labels)
+            flat[f"{name}{{{rendered}}}" if rendered else name] = value
+    return flat
+
+
+def write_bench_json(path: str, section: str, payload: Dict[str, object]) -> None:
+    """Merge one benchmark's results (plus telemetry counters) into ``path``.
+
+    Each harness writes its own section, so several benches can share one
+    ``BENCH_telemetry.json`` artifact in CI.
+    """
+    import json
+    import os
+
+    document: Dict[str, object] = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                document = json.load(handle)
+            except ValueError:
+                document = {}
+    document[section] = {"results": payload, "telemetry": telemetry_counters()}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

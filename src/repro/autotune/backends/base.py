@@ -34,6 +34,14 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 from repro.compiler import CompilationSession
 from repro.machine.spec import GPUSpec
+from repro.telemetry import trace
+from repro.telemetry.metrics import METRICS
+
+MEASUREMENTS_TOTAL = METRICS.counter(
+    "repro_measurements_total",
+    "candidate costings per measurement kind",
+    labels=("kind",),
+)
 
 
 class BackendUnavailable(RuntimeError):
@@ -136,6 +144,12 @@ class EvaluationBackend:
         return self._session, self._spec
 
     # -- measurement -------------------------------------------------------------
+    #: leaf backends open a ``measure`` span and count into
+    #: ``repro_measurements_total{kind=}`` per measurement; delegating
+    #: backends (hybrid) set this False so one candidate is never counted
+    #: twice — the leaf they forward to instruments itself.
+    _instrument_measure: bool = True
+
     def measure(self, configuration: Any) -> Measurement:
         """Cost one candidate; infeasible mappings become infeasible results.
 
@@ -143,11 +157,37 @@ class EvaluationBackend:
         (scratchpad overflow, degenerate geometry) with ``ValueError`` —
         converted here so :meth:`_measure` implementations stay simple and
         search strategies see a total function.
+
+        Instrumented: each leaf measurement opens a ``measure`` span carrying
+        provenance (kind, timing knobs, and — annotated by ``measure-c:`` —
+        compile time) and bumps ``repro_measurements_total{kind=}``.
         """
+        if not self._instrument_measure:
+            return self._checked_measure(configuration)
+        with trace.span("measure", kind="measure", backend=self.scheme) as item:
+            measurement = self._checked_measure(configuration)
+            item.annotate(
+                kind=measurement.kind,
+                time_ms=measurement.time_ms,
+                feasible=measurement.feasible,
+                **self._timing_provenance(),
+            )
+        MEASUREMENTS_TOTAL.inc(kind=measurement.kind)
+        return measurement
+
+    def _checked_measure(self, configuration: Any) -> Measurement:
         try:
             return self._measure(configuration)
         except ValueError as error:
             return Measurement.infeasible(self.kind, str(error))
+
+    def _timing_provenance(self) -> Dict[str, Any]:
+        """The warmup/repeat/trim knobs, when this backend has them."""
+        return {
+            name: getattr(self, name)
+            for name in ("warmup", "repeat", "trim")
+            if hasattr(self, name)
+        }
 
     def _measure(self, configuration: Any) -> Measurement:
         raise NotImplementedError

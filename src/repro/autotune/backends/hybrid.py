@@ -40,6 +40,9 @@ class HybridBackend(EvaluationBackend):
     """Model prunes the space; a measured backend re-ranks the top-K."""
 
     scheme = "hybrid"
+    # every hybrid measurement is performed by a leaf backend, which
+    # instruments itself; instrumenting here too would double-count
+    _instrument_measure = False
 
     def __init__(
         self,

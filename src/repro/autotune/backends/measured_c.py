@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import subprocess
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -26,6 +27,7 @@ from repro.codegen.emit_c_exec import emit_c_harness
 from repro.codegen.toolchain import find_c_compiler
 from repro.compiler import CompilationSession
 from repro.machine.spec import GPUSpec
+from repro.telemetry import trace
 
 from repro.autotune.backends.base import (
     BackendUnavailable,
@@ -115,9 +117,14 @@ class MeasuredCBackend(EvaluationBackend):
             c_path.write_text(source)
             compile_cmd = [self._compiler, "-O2", "-o", str(bin_path), str(c_path), "-lm"]
             try:
+                compile_started = time.perf_counter()
                 compiled = subprocess.run(
                     compile_cmd, capture_output=True, text=True, timeout=SUBPROCESS_TIMEOUT_S
                 )
+                compile_s = time.perf_counter() - compile_started
+                # provenance on the enclosing measure span: how much of this
+                # candidate's wall time was the C toolchain, not the kernel
+                trace.annotate(compile_s=round(compile_s, 6), cc=self._compiler)
                 if compiled.returncode != 0:
                     raise RuntimeError(
                         f"C compilation failed ({' '.join(compile_cmd)}):\n{compiled.stderr}"

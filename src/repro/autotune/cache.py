@@ -37,6 +37,22 @@ from repro.ir.printer import program_to_c
 from repro.ir.program import Program
 from repro.machine.spec import GPUSpec
 from repro.autotune.store import CACHE_VERSION, CacheStore, open_store
+from repro.telemetry.metrics import METRICS
+
+# Pre-registered (unlabelled counters always render, even at 0) so a fresh
+# server's /metrics already exposes the cache series scrapers look for.
+CACHE_HITS_TOTAL = METRICS.counter(
+    "repro_cache_hits_total", "tuning-cache lookup hits"
+)
+CACHE_MISSES_TOTAL = METRICS.counter(
+    "repro_cache_misses_total", "tuning-cache lookup misses"
+)
+CACHE_PUTS_TOTAL = METRICS.counter(
+    "repro_cache_puts_total", "tuning reports persisted"
+)
+CACHE_ABSORBS_TOTAL = METRICS.counter(
+    "repro_cache_absorbs_total", "worker reports absorbed without persisting"
+)
 
 __all__ = [
     "CACHE_VERSION",
@@ -155,8 +171,10 @@ class TuningCache:
             entry = self._lookup(key)
             if entry is None:
                 self.misses += 1
+                CACHE_MISSES_TOTAL.inc()
                 return None
             self.hits += 1
+            CACHE_HITS_TOTAL.inc()
             return entry
 
     def peek(self, key: str) -> Optional[Dict[str, Any]]:
@@ -180,6 +198,7 @@ class TuningCache:
         with self._mutex:
             self._absorbed.pop(key, None)
             self.store.put(key, dict(value))
+        CACHE_PUTS_TOTAL.inc()
 
     def set_absorb_limit(self, absorb_limit: int) -> None:
         """Re-bound the absorb overlay, evicting LRU entries beyond it."""
@@ -204,11 +223,12 @@ class TuningCache:
         with self._mutex:
             if self.store.path is None:
                 self.store.put(key, dict(value))
-                return
-            self._absorbed[key] = dict(value)
-            self._absorbed.move_to_end(key)
-            while len(self._absorbed) > self.absorb_limit:
-                self._absorbed.popitem(last=False)
+            else:
+                self._absorbed[key] = dict(value)
+                self._absorbed.move_to_end(key)
+                while len(self._absorbed) > self.absorb_limit:
+                    self._absorbed.popitem(last=False)
+        CACHE_ABSORBS_TOTAL.inc()
 
     def __contains__(self, key: str) -> bool:
         with self._mutex:

@@ -36,12 +36,14 @@ the replay-from-stage reuse) for one kernel::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import warnings
 from typing import Dict, List, Optional, Sequence
 
 from repro.compiler import CompilationSession, DEFAULT_PASSES, counting_compiles
 from repro.kernels.registry import available_kernels, get_kernel
+from repro.telemetry import trace
 from repro.autotune.backends import (
     BackendUnavailable,
     available_backends,
@@ -154,7 +156,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="thread-block counts to explore (default: 16 32 64)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record a span trace of this tuning run and save it to FILE "
+        "(inspect with 'python -m repro.autotune trace FILE')",
+    )
     return parser
+
+
+def trace_main(argv: Sequence[str]) -> int:
+    """``trace FILE``: render a saved trace as a tree plus a hotspot table."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.autotune trace",
+        description="Render a --trace capture: the span tree (request -> "
+        "search -> candidate -> pass/measure) and a top-N self-time hotspot "
+        "table.  Reads the canonical JSON save format or a JSONL export.",
+    )
+    parser.add_argument("file", metavar="FILE", help="trace file written by --trace")
+    parser.add_argument(
+        "--top", type=int, default=10, help="hotspot rows to show (default: 10)"
+    )
+    parser.add_argument(
+        "--max-depth", type=int, default=None, help="clip the tree below this depth"
+    )
+    parser.add_argument(
+        "--chrome",
+        metavar="OUT",
+        default=None,
+        help="also export Chrome trace_event JSON (chrome://tracing, ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--jsonl",
+        metavar="OUT",
+        default=None,
+        help="also export flattened JSONL (one span per line)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        roots = trace.load_trace(args.file)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: cannot read trace {args.file}: {error}", file=sys.stderr)
+        return 2
+    total_spans = sum(1 for _ in trace.iter_spans(roots))
+    total_ms = sum(root.duration_ms for root in roots)
+    print(f"trace {args.file}: {total_spans} spans, {total_ms:.3f} ms total")
+    print(trace.render_tree(roots, max_depth=args.max_depth))
+    print()
+    print(f"hotspots (top {args.top} by self time):")
+    print(trace.render_hotspots(roots, top=args.top))
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(trace.to_chrome_trace(roots), handle)
+        print(f"chrome trace -> {args.chrome}")
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(trace.to_jsonl(roots))
+        print(f"jsonl -> {args.jsonl}")
+    return 0
 
 
 def _cache_tools_parser(command: str) -> argparse.ArgumentParser:
@@ -361,6 +421,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cache_prune_main(argv[1:])
     if argv and argv[0] == "cache-migrate":
         return cache_migrate_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -394,25 +456,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as error:  # e.g. an unknown store or backend scheme
         print(f"error: {error}", file=sys.stderr)
         return 2
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always", RuntimeWarning)
-        with counting_compiles() as compiles:
-            try:
-                report = autotune(
-                    program,
-                    strategy=args.strategy,
-                    max_workers=args.workers,
-                    executor=args.executor,
-                    cache=cache,
-                    seed=args.seed,
-                    space_options=space_options,
-                    check_correctness=args.check,
-                    check_program=kernel.build_check() if args.check else None,
-                    backend=args.backend,
-                )
-            except BackendUnavailable as error:
-                print(f"error: {error}", file=sys.stderr)
-                return 3
+    collector = trace.start_trace() if args.trace else None
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", RuntimeWarning)
+            with counting_compiles() as compiles:
+                try:
+                    report = autotune(
+                        program,
+                        strategy=args.strategy,
+                        max_workers=args.workers,
+                        executor=args.executor,
+                        cache=cache,
+                        seed=args.seed,
+                        space_options=space_options,
+                        check_correctness=args.check,
+                        check_program=kernel.build_check() if args.check else None,
+                        backend=args.backend,
+                    )
+                except BackendUnavailable as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    return 3
+    finally:
+        if collector is not None:
+            trace.stop_trace()
+    if collector is not None:
+        trace.save_trace(
+            args.trace, collector.roots, meta={"kernel": args.kernel, "seed": args.seed}
+        )
+        total = sum(1 for _ in trace.iter_spans(collector.roots))
+        print(f"trace: {total} spans -> {args.trace}")
     for warning in caught:  # surface e.g. the process→thread pickle fallback
         print(f"warning: {warning.message}", file=sys.stderr)
     fell_back_to_threads = any(

@@ -37,6 +37,7 @@ from repro.core.options import MappingOptions
 from repro.ir.program import Program
 from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
 from repro.runtime.interpreter import run_program
+from repro.telemetry import trace
 from repro.autotune.backends import EvaluationBackend, Measurement, resolve_backend
 from repro.autotune.space import Configuration
 
@@ -174,16 +175,24 @@ class ConfigurationEvaluator:
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
         self._lock = threading.Lock()
+        # PassManager hooks are dropped on pickle by contract (see
+        # PassManager.__getstate__); when this process is tracing, re-attach
+        # the telemetry pass hook so worker-side pass spans are not lost.
+        if trace.active_trace() is not None and self._session is not None:
+            self._session.manager.add_hook(trace.trace_pass_hook)
 
     def _fresh_session(
         self, program: Program, with_params: bool = True
     ) -> CompilationSession:
-        return CompilationSession(
+        session = CompilationSession(
             program,
             spec=self.spec,
             options=self.base_options,
             param_values=self.param_values if with_params else None,
         )
+        if trace.active_trace() is not None:
+            session.manager.add_hook(trace.trace_pass_hook)
+        return session
 
     @property
     def session(self) -> CompilationSession:
@@ -208,9 +217,18 @@ class ConfigurationEvaluator:
     def evaluate(self, config: Configuration) -> EvaluationResult:
         """Compile, cost, and optionally spot-check one configuration."""
         self._ensure_prepared()
-        result = result_from_measurement(config, self.backend.measure(config))
-        if result.feasible and self.check_correctness:
-            result.correct = self.spot_check(config)
+        with trace.span(
+            "candidate",
+            kind="candidate",
+            blocks=config.num_blocks,
+            threads=config.threads_per_block,
+            scratchpad=config.use_scratchpad,
+        ) as item:
+            result = result_from_measurement(config, self.backend.measure(config))
+            if result.feasible and self.check_correctness:
+                with trace.span("spot-check", kind="check"):
+                    result.correct = self.spot_check(config)
+            item.annotate(time_ms=result.time_ms, feasible=result.feasible)
         return result
 
     def finalize(self, results: List[EvaluationResult], ensure=()) -> List[EvaluationResult]:

@@ -13,12 +13,15 @@ repeated requests are answered from disk with **zero** pipeline compiles
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.compiler import CompilationSession
+from repro.telemetry import trace
+from repro.telemetry.metrics import METRICS
 from repro.core.options import MappingOptions
 from repro.ir.printer import program_to_c
 from repro.ir.program import Program
@@ -33,6 +36,15 @@ from repro.autotune.search import (
     resolve_strategy,
 )
 from repro.autotune.space import ConfigurationSpace, SpaceOptions
+
+TUNING_REQUESTS_TOTAL = METRICS.counter(
+    "repro_tuning_requests_total",
+    "autotune() requests by answer source",
+    labels=("source",),
+)
+REQUEST_SECONDS = METRICS.histogram(
+    "repro_request_seconds", "end-to-end autotune() wall time in seconds"
+)
 
 
 @dataclass
@@ -153,6 +165,10 @@ def _prepare_request(
     compile_session = CompilationSession(
         program, spec=spec, options=options, param_values=param_values
     )
+    if trace.active_trace() is not None:
+        # Attach before the space construction below triggers the analysis
+        # pass, so a traced request shows analysis as its first pass span.
+        compile_session.manager.add_hook(trace.trace_pass_hook)
     space = ConfigurationSpace(
         program,
         spec=spec,
@@ -263,71 +279,92 @@ def autotune(
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     if cache is not None and not isinstance(cache, TuningCache):
         cache = TuningCache(cache)
-    options, strategy, space, key, compile_session, backend = _prepare_request(
-        program, spec, param_values, options, strategy, seed,
-        space_options, check_correctness, check_program, backend,
-    )
-    if cache is not None:
-        stored = cache.get(key)
-        if stored is not None:
-            return TuningReport.from_dict(stored, from_cache=True)
-
-    if max_workers > 1 and backend.measures_wall_clock:
-        # K concurrent timed runs contend for the same cores and inflate
-        # each other's perf_counter windows — the times the search trusts
-        # would be run-order noise.  (A hybrid with a model primary keeps
-        # its parallel search; its measured re-rank is serial by design.
-        # After the cache check: a warm hit evaluates nothing to serialize.)
-        warnings.warn(
-            f"backend {backend.uri()!r} times real executions; serializing "
-            f"evaluation (max_workers {max_workers} -> 1) so concurrent "
-            "candidates cannot skew each other's measurements",
-            RuntimeWarning,
-            stacklevel=2,
+    started = time.perf_counter()
+    # fallback=True: candidate spans opened on evaluator pool threads adopt
+    # this span as their parent (see repro.telemetry.trace).
+    with trace.span(
+        "request", kind="request", kernel=program.name, fallback=True
+    ) as request_span:
+        options, strategy, space, key, compile_session, backend = _prepare_request(
+            program, spec, param_values, options, strategy, seed,
+            space_options, check_correctness, check_program, backend,
         )
-        max_workers = 1
+        request_span.annotate(
+            strategy=strategy.name, backend=backend.uri(), fingerprint=key[:16]
+        )
+        if cache is not None:
+            stored = cache.get(key)
+            if stored is not None:
+                request_span.annotate(source="cache")
+                TUNING_REQUESTS_TOTAL.inc(source="cache")
+                REQUEST_SECONDS.observe(time.perf_counter() - started)
+                return TuningReport.from_dict(stored, from_cache=True)
 
-    evaluator = ConfigurationEvaluator(
-        program,
-        spec=spec,
-        param_values=param_values,
-        base_options=options,
-        check_correctness=check_correctness,
-        check_program=check_program,
-        seed=seed,
-        session=compile_session,
-        backend=backend,
-    )
-    with make_batch_evaluator(
-        evaluator, max_workers=max_workers, executor=executor
-    ) as evaluate_many:
-        results = strategy.run(space, evaluate_many)
-    if not results:
-        raise ValueError("search strategy produced no evaluations")
+        if max_workers > 1 and backend.measures_wall_clock:
+            # K concurrent timed runs contend for the same cores and inflate
+            # each other's perf_counter windows — the times the search trusts
+            # would be run-order noise.  (A hybrid with a model primary keeps
+            # its parallel search; its measured re-rank is serial by design.
+            # After the cache check: a warm hit evaluates nothing to serialize.)
+            warnings.warn(
+                f"backend {backend.uri()!r} times real executions; serializing "
+                f"evaluation (max_workers {max_workers} -> 1) so concurrent "
+                "candidates cannot skew each other's measurements",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            max_workers = 1
 
-    seed_config = space.seed_configuration()
-    # The backend's post-search pass: the hybrid backend re-measures the
-    # top-K survivors (and the baseline) here; winner selection is the
-    # backend's too, so a model-priced survivor can never outrank a
-    # measured one on incomparable milliseconds.
-    results = evaluator.finalize(results, ensure=(seed_config,))
-    baseline = next(
-        (r for r in results if r.configuration == seed_config), results[0]
-    )
-    report = TuningReport(
-        kernel_name=program.name,
-        fingerprint=key,
-        strategy=strategy.name,
-        spec_name=spec.name,
-        best=evaluator.select_best(results),
-        baseline=baseline,
-        results=results,
-        seed=seed,
-        backend=backend.uri(),
-    )
-    if cache is not None:
-        cache.put(key, report.to_dict())
-    return report
+        evaluator = ConfigurationEvaluator(
+            program,
+            spec=spec,
+            param_values=param_values,
+            base_options=options,
+            check_correctness=check_correctness,
+            check_program=check_program,
+            seed=seed,
+            session=compile_session,
+            backend=backend,
+        )
+        with make_batch_evaluator(
+            evaluator, max_workers=max_workers, executor=executor
+        ) as evaluate_many:
+            with trace.span(
+                "search", kind="search", strategy=strategy.name, fallback=True
+            ):
+                results = strategy.run(space, evaluate_many)
+        if not results:
+            raise ValueError("search strategy produced no evaluations")
+
+        seed_config = space.seed_configuration()
+        # The backend's post-search pass: the hybrid backend re-measures the
+        # top-K survivors (and the baseline) here; winner selection is the
+        # backend's too, so a model-priced survivor can never outrank a
+        # measured one on incomparable milliseconds.
+        with trace.span("finalize", kind="finalize", backend=backend.uri()):
+            results = evaluator.finalize(results, ensure=(seed_config,))
+        baseline = next(
+            (r for r in results if r.configuration == seed_config), results[0]
+        )
+        report = TuningReport(
+            kernel_name=program.name,
+            fingerprint=key,
+            strategy=strategy.name,
+            spec_name=spec.name,
+            best=evaluator.select_best(results),
+            baseline=baseline,
+            results=results,
+            seed=seed,
+            backend=backend.uri(),
+        )
+        if cache is not None:
+            cache.put(key, report.to_dict())
+        request_span.annotate(
+            source="tuned", evaluations=len(results), best_ms=report.best.time_ms
+        )
+        TUNING_REQUESTS_TOTAL.inc(source="tuned")
+        REQUEST_SECONDS.observe(time.perf_counter() - started)
+        return report
 
 
 def autotune_batch(

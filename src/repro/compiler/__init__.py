@@ -47,6 +47,7 @@ from repro.compiler.instrument import (
     StageRunCount,
     counting_compiles,
     counting_stage_runs,
+    record_pass_execution,
 )
 from repro.compiler.manager import PassManager, PassTiming
 from repro.compiler.passes import (
@@ -97,6 +98,7 @@ __all__ = [
     "counting_compiles",
     "counting_stage_runs",
     "loop_extents",
+    "record_pass_execution",
     "register_pass",
     "resolve_pass_names",
     "split_across",

@@ -16,6 +16,14 @@ compiles on thread-pool workers:
 Both live here (not in :mod:`repro.core.pipeline`) so the compiler package
 never imports the deprecated pipeline shims; the old import paths keep
 working through re-exports.
+
+Both counters double as **shims over the process-wide metrics registry**
+(:data:`repro.telemetry.metrics.METRICS`): every increment also publishes
+``repro_compiles_total`` / ``repro_stage_runs_total{stage=...}``, so the
+tuning server's ``/metrics`` endpoint sees compiler activity without the
+compiler knowing about the server.  The local counts stay independently
+resettable — :func:`counting_compiles` / :func:`counting_stage_runs` deltas
+are unchanged — while the registry counters only ever grow.
 """
 
 from __future__ import annotations
@@ -24,6 +32,19 @@ import contextlib
 import threading
 from dataclasses import dataclass, field
 from typing import Dict
+
+from repro.telemetry.metrics import METRICS
+
+#: registry-backed twins of the legacy counters (labels render in /metrics)
+COMPILES_TOTAL = METRICS.counter(
+    "repro_compiles_total", "end-to-end pipeline compilations"
+)
+STAGE_RUNS_TOTAL = METRICS.counter(
+    "repro_stage_runs_total", "compiler pass executions", labels=("stage",)
+)
+PASS_SECONDS = METRICS.histogram(
+    "repro_pass_seconds", "per-pass wall time in seconds", labels=("stage",)
+)
 
 
 @dataclass
@@ -42,6 +63,7 @@ class CompileCounter:
     def increment(self) -> None:
         with self._lock:
             self.count += 1
+        COMPILES_TOTAL.inc()
 
     def reset(self) -> None:
         with self._lock:
@@ -88,6 +110,7 @@ class StageCounter:
     def record(self, stage: str) -> None:
         with self._lock:
             self.counts[stage] = self.counts.get(stage, 0) + 1
+        STAGE_RUNS_TOTAL.inc(stage=stage)
 
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
@@ -104,6 +127,17 @@ class StageCounter:
 
 #: process-wide counter bumped once per executed compiler pass, keyed by stage
 STAGE_COUNTER = StageCounter()
+
+
+def record_pass_execution(stage: str, elapsed_s: float) -> None:
+    """One executed pass: bump :data:`STAGE_COUNTER` and observe its wall time.
+
+    The single instrumentation point :meth:`PassManager.run` calls, so the
+    legacy per-stage counts and the ``repro_pass_seconds`` histogram can
+    never drift apart.
+    """
+    STAGE_COUNTER.record(stage)
+    PASS_SECONDS.observe(elapsed_s, stage=stage)
 
 
 @dataclass

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.compiler.artifacts import StageArtifact
-from repro.compiler.instrument import STAGE_COUNTER
+from repro.compiler.instrument import record_pass_execution
 from repro.compiler.passes import DEFAULT_PASSES, Pass, PassContext, resolve_pass_names
 
 #: observer signature: (pass name, produced artifact, elapsed seconds)
@@ -49,7 +49,14 @@ class PassManager:
 
     # Managers travel inside pickled sessions to process-pool workers; the
     # lock is process-local and hooks are observers of *this* process, so
-    # neither crosses the boundary.
+    # neither crosses the boundary.  CONTRACT: hooks are deliberately
+    # DROPPED on pickle — an observer closure (a benchmark's accumulator, a
+    # trace collector) must not be shipped to a worker that has no use for
+    # it, and often cannot be pickled at all.  Anything that needs pass
+    # observations on the far side must re-attach its hook after unpickling:
+    # repro.service.worker re-attaches the telemetry pass hook, and
+    # ConfigurationEvaluator.__setstate__ does the same when a trace
+    # collector is active in the unpickling process.
     def __getstate__(self) -> Dict[str, Any]:
         state = dict(self.__dict__)
         state["_lock"] = None
@@ -76,8 +83,14 @@ class PassManager:
 
     # -- instrumentation ---------------------------------------------------------------
     def add_hook(self, hook: PassHook) -> None:
-        """Call ``hook(name, artifact, elapsed_s)`` after every pass run."""
-        self._hooks.append(hook)
+        """Call ``hook(name, artifact, elapsed_s)`` after every pass run.
+
+        Idempotent per hook object: re-attaching the same callable (the
+        telemetry pass hook, re-attached after unpickling — hooks do not
+        survive pickling, see ``__getstate__``) never double-fires it.
+        """
+        if hook not in self._hooks:
+            self._hooks.append(hook)
 
     def timings(self) -> List[PassTiming]:
         """Per-pass run counts and wall time, in pass order."""
@@ -132,7 +145,7 @@ class PassManager:
                 value=value,
             )
             ctx.artifacts[item.name] = artifact
-            STAGE_COUNTER.record(item.name)
+            record_pass_execution(item.name, elapsed)
             self._record(item.name, elapsed)
             executed.append(item.name)
             for hook in self._hooks:

@@ -183,7 +183,9 @@ class CompilationSession:
         options, binding) and adopts every already-frozen artifact whose stage
         appears in the new pass list — so a backend that needs an extra
         terminal pass (e.g. ``lower-py``) still reuses the one affine-analysis
-        run of the original session instead of re-analysing.
+        run of the original session instead of re-analysing.  Observer hooks
+        carry over too: a traced request sees the derived session's passes
+        (``lower-py`` per candidate) next to the original session's.
         """
         derived = CompilationSession(
             self.program,
@@ -198,6 +200,8 @@ class CompilationSession:
             for name, artifact in self._artifacts.items():
                 if name in stages:
                     derived._artifacts[name] = artifact
+            for hook in self.manager._hooks:
+                derived.manager.add_hook(hook)
         return derived
 
     def _resolve_options(

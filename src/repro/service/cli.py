@@ -21,6 +21,7 @@ import sys
 import threading
 from typing import Dict, Optional, Sequence
 
+from repro.telemetry import iter_spans, save_trace
 from repro.autotune.cli import parse_sizes
 from repro.autotune.search import EXECUTORS, STRATEGIES
 from repro.autotune.session import TuningReport
@@ -106,6 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--timeout", type=float, default=600.0, help="--wait timeout in seconds"
     )
+    submit.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="collect a span trace of the tuning run and save it to FILE "
+        "(implies --wait; inspect with 'python -m repro.autotune trace FILE')",
+    )
 
     status = commands.add_parser("status", help="query one job")
     status.add_argument("job", help="job id returned by submit")
@@ -163,6 +169,7 @@ def _submit(args: argparse.Namespace) -> int:
         check_correctness=args.check,
         space=space or None,
         backend=args.backend,
+        trace=args.trace is not None,
     )
     client = TuningClient(args.url)
     pending = client.submit(request)
@@ -173,7 +180,7 @@ def _submit(args: argparse.Namespace) -> int:
         job = pending.status()
         print(f"error: {job.get('error') or 'submission failed'}", file=sys.stderr)
         return 1
-    if not args.wait:
+    if not (args.wait or args.trace):
         return 0
     job = pending.job(timeout=args.timeout)
     if job["status"] == "error":
@@ -186,6 +193,20 @@ def _submit(args: argparse.Namespace) -> int:
     print(f"compiles: {job['compiles']}")
     if job.get("stages"):
         print(f"stages: {format_stage_counts(job['stages'])}")
+    if job.get("duration_s") is not None:
+        print(f"duration: {job['duration_s']:.3f}s")
+    if args.trace:
+        spans = job.get("trace")
+        if spans:
+            save_trace(
+                args.trace,
+                spans,
+                meta={"job": job["job"], "fingerprint": job["fingerprint"]},
+            )
+            print(f"trace: {len(list(iter_spans(spans)))} spans -> {args.trace}")
+        else:
+            # e.g. a warm cache hit answered at submission — no worker ran
+            print("trace: no spans recorded (answered from cache?)", file=sys.stderr)
     return 0
 
 
@@ -198,6 +219,14 @@ def _status(args: argparse.Namespace) -> int:
         print(f"compiles: {job['compiles']}")
     if job.get("stages"):
         print(f"stages: {format_stage_counts(job['stages'])}")
+    if job.get("duration_s") is not None:
+        print(f"duration: {job['duration_s']:.3f}s")
+    if job.get("span_summary"):
+        parts = " ".join(
+            f"{kind}={entry['spans']}/{entry['total_ms']:.0f}ms"
+            for kind, entry in sorted(job["span_summary"].items())
+        )
+        print(f"spans: {parts}")
     if job["error"]:
         print(f"error: {job['error']}")
     return 0

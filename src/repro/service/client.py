@@ -208,6 +208,25 @@ class TuningClient:
     def kernels(self) -> Dict[str, Any]:
         return self._call("GET", "/kernels")
 
+    def metrics(self) -> str:
+        """The server's ``/metrics`` page — raw Prometheus text, not JSON.
+
+        Parse with :func:`repro.telemetry.parse_prometheus_text` when the
+        values are needed programmatically.
+        """
+        request = urllib.request.Request(self.url + "/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceError(
+                f"GET /metrics failed ({error.code})", status=error.code
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach tuning server at {self.url}: {error.reason}"
+            ) from None
+
     def status(self, job_id: str) -> Dict[str, Any]:
         return self._call("GET", f"/status/{job_id}")
 

@@ -93,6 +93,10 @@ class TuneRequest:
     #: evaluation-backend URI (``model:``, ``measure-py:...``,
     #: ``measure-c:...``, ``hybrid:model>measure-py?top=K``)
     backend: str = "model:"
+    #: collect a span trace of the tuning run (shipped back in the job
+    #: payload).  Observability only — deliberately NOT a fingerprint
+    #: ingredient: a traced and an untraced request share one cache entry.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.kernel, str) or not self.kernel:
@@ -119,6 +123,9 @@ class TuneRequest:
             )
         if not isinstance(self.eval_workers, int) or self.eval_workers < 1:
             raise ValueError(f"eval_workers must be a positive integer, got {self.eval_workers!r}")
+        if not isinstance(self.trace, bool):
+            # a truthy string like "false" must not silently enable tracing
+            raise ValueError(f"trace must be a boolean, got {self.trace!r}")
         # Parse the backend URI eagerly: a typo must 400 at submission, not
         # error a worker.  (Host *availability* — e.g. a missing C toolchain —
         # is deliberately not checked here: the worker raising
@@ -164,6 +171,7 @@ class TuneRequest:
             "options": dict(self.options) if self.options else None,
             "space": dict(self.space) if self.space else None,
             "backend": self.backend,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -266,10 +274,30 @@ class JobRecord:
     error: Optional[str] = None
     created_at: float = field(default_factory=time.time)
     finished_at: Optional[float] = None
+    #: monotonic acceptance timestamp — server-local, never serialized.
+    #: ``created_at``/``finished_at`` stay wall-clock (human-readable, cross
+    #: host), but their difference jumps with NTP slews, so elapsed time is
+    #: measured on the monotonic clock instead.
+    created_mono: float = field(default_factory=time.monotonic, repr=False)
+    #: queue+run wall time in seconds, captured from the monotonic clock the
+    #: moment the job reaches a terminal state
+    duration_s: Optional[float] = None
+    #: span tree of the tuning run (list of Span.to_dict payloads), present
+    #: only when the request asked for tracing
+    trace: Optional[list] = None
+    #: per-span-kind rollup (count + total_ms), cheap enough for /status
+    span_summary: Optional[Dict[str, Any]] = None
 
     @property
     def finished(self) -> bool:
         return self.status in FINISHED_STATES
+
+    def mark_finished(self) -> None:
+        """Stamp the terminal timestamps (idempotent — first stamp wins)."""
+        if self.finished_at is None:
+            self.finished_at = time.time()
+        if self.duration_s is None:
+            self.duration_s = max(0.0, time.monotonic() - self.created_mono)
 
     def to_dict(self, include_report: bool = True) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -283,8 +311,11 @@ class JobRecord:
             "error": self.error,
             "created_at": self.created_at,
             "finished_at": self.finished_at,
+            "duration_s": self.duration_s,
+            "span_summary": dict(self.span_summary) if self.span_summary else None,
             "request": dict(self.request),
         }
         if include_report:
             payload["report"] = self.report
+            payload["trace"] = self.trace
         return payload

@@ -23,7 +23,6 @@ from __future__ import annotations
 import json
 import multiprocessing
 import threading
-import time
 import uuid
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import wait as wait_futures
@@ -35,10 +34,27 @@ from urllib.parse import urlparse
 
 from repro.kernels.registry import available_kernels, get_kernel
 from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
+from repro.telemetry import METRICS, summarize_spans
 from repro.autotune.cache import TuningCache
 from repro.autotune.search import EXECUTORS
 from repro.service.protocol import JobRecord, TuneRequest
 from repro.service.worker import execute_request
+
+#: service-level metrics (the autotune/compiler layers register their own)
+JOBS_TOTAL = METRICS.counter(
+    "repro_jobs_total",
+    "Tuning jobs reaching a terminal state, by outcome.",
+    labels=("outcome",),  # cached | tuned | error
+)
+JOB_SECONDS = METRICS.histogram(
+    "repro_job_seconds",
+    "Queue+run wall time of worker-executed jobs (monotonic clock).",
+)
+HTTP_REQUESTS_TOTAL = METRICS.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method and endpoint (path parameters folded).",
+    labels=("method", "endpoint"),
+)
 
 
 class ServiceUnavailable(RuntimeError):
@@ -149,8 +165,9 @@ class TuningService:
                     compiles=0,
                     stages={},
                     report=dict(stored),
-                    finished_at=time.time(),
                 )
+                job.mark_finished()  # duration_s ~ 0: answered at submission
+                JOBS_TOTAL.inc(outcome="cached")
                 self._jobs[job.id] = job
                 self._evict_finished_locked()
                 return job, "cached"
@@ -177,7 +194,8 @@ class TuningService:
                 self._inflight.pop(key, None)
                 job.error = f"{type(error).__name__}: {error}"
                 job.status = "error"
-                job.finished_at = time.time()
+                job.mark_finished()
+                JOBS_TOTAL.inc(outcome="error")
                 self.counters["failed"] += 1
                 self._evict_finished_locked()
                 return job, "error"
@@ -204,13 +222,14 @@ class TuningService:
             job = self._jobs[job_id]
             self._inflight.pop(job.fingerprint, None)
             self._futures.pop(job_id, None)
-            job.finished_at = time.time()
+            job.mark_finished()
             try:
                 outcome = future.result()
             except (Exception, CancelledError) as error:
                 # worker died, unpicklable state, or drained with a hard timeout
                 job.error = f"{type(error).__name__}: {error}"
                 job.status = "error"
+                JOBS_TOTAL.inc(outcome="error")
                 self.counters["failed"] += 1
                 self._evict_finished_locked()
                 return
@@ -220,7 +239,19 @@ class TuningService:
             job.compiles = outcome["compiles"]
             job.stages = outcome.get("stages")
             job.from_cache = outcome["from_cache"]
+            job.trace = outcome.get("trace")
+            if job.trace:
+                job.span_summary = summarize_spans(job.trace)
             job.status = "done"
+            JOBS_TOTAL.inc(outcome="cached" if outcome["from_cache"] else "tuned")
+            if job.duration_s is not None:
+                JOB_SECONDS.observe(job.duration_s)
+            # A process worker's registry bumps happened in its own process;
+            # absorb its shipped delta so /metrics reflects the whole fleet.
+            # Thread workers share *this* registry — absorbing their delta
+            # would double-count every sample.
+            if self.executor == "process" and outcome.get("metrics"):
+                METRICS.absorb(outcome["metrics"])
             if outcome["from_cache"]:
                 self.counters["cache_hits"] += 1
             else:
@@ -333,6 +364,26 @@ class TuningRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _count_request(self, method: str, path: str) -> None:
+        # fold path parameters so the label space stays bounded: every
+        # /status/<job> is one endpoint, and unknown paths are one bucket
+        known = ("/tune", "/shutdown", "/metrics", "/healthz", "/cache/stats", "/kernels")
+        if path.startswith("/status/"):
+            endpoint = "/status"
+        elif path in known:
+            endpoint = path
+        else:
+            endpoint = "other"
+        HTTP_REQUESTS_TOTAL.inc(method=method, endpoint=endpoint)
+
     def _drain_body(self) -> bytes:
         """Read the request body unconditionally.
 
@@ -345,7 +396,14 @@ class TuningRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = urlparse(self.path).path
-        if path == "/healthz":
+        self._count_request("GET", path)
+        if path == "/metrics":
+            # Prometheus text exposition format 0.0.4 — `curl`-able and
+            # scrapeable; everything else on this server speaks JSON.
+            self._send_text(
+                200, METRICS.render(), "text/plain; version=0.0.4; charset=utf-8"
+            )
+        elif path == "/healthz":
             self._send_json(200, self.service.health())
         elif path == "/cache/stats":
             self._send_json(200, self.service.stats())
@@ -363,6 +421,7 @@ class TuningRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = urlparse(self.path).path
+        self._count_request("POST", path)
         raw = self._drain_body()
         if path == "/tune":
             try:

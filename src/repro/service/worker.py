@@ -20,6 +20,7 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.compiler import counting_compiles, counting_stage_runs
 from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
+from repro.telemetry import METRICS, trace
 from repro.autotune.cache import TuningCache
 from repro.autotune.session import autotune
 from repro.service.protocol import TuneRequest
@@ -49,20 +50,35 @@ def execute_request(
     # the key the server deduplicated and will absorb under.
     resolved = request.resolve(spec or GEFORCE_8800_GTX)
     cache = TuningCache(cache_path) if cache_path is not None else None
-    with counting_compiles() as compiles, counting_stage_runs() as stage_runs:
-        report = autotune(
-            resolved.program,
-            spec=resolved.spec,
-            options=resolved.options,
-            strategy=request.strategy,
-            max_workers=request.eval_workers,
-            cache=cache,
-            seed=request.seed,
-            space_options=resolved.space_options,
-            check_correctness=request.check_correctness,
-            check_program=resolved.check_program,
-            backend=request.backend,
-        )
+    # Worker-process metrics are invisible to the server's /metrics endpoint,
+    # so every completion ships the registry *delta* attributable to this job.
+    # The server absorbs it only from process workers: thread workers already
+    # mutate the server's own registry, and a concurrent thread job's counts
+    # would bleed into this delta anyway (same caveat as ``compiles`` below).
+    metrics_baseline = METRICS.snapshot()
+    collector = trace.start_trace() if request.trace else None
+    try:
+        # PassManager hooks were dropped when the evaluator's session pickled
+        # over (the __getstate__ contract); autotune's _prepare_request
+        # re-attaches trace_pass_hook because the collector installed above
+        # is active *before* the session is built.
+        with counting_compiles() as compiles, counting_stage_runs() as stage_runs:
+            report = autotune(
+                resolved.program,
+                spec=resolved.spec,
+                options=resolved.options,
+                strategy=request.strategy,
+                max_workers=request.eval_workers,
+                cache=cache,
+                seed=request.seed,
+                space_options=resolved.space_options,
+                check_correctness=request.check_correctness,
+                check_program=resolved.check_program,
+                backend=request.backend,
+            )
+    finally:
+        if collector is not None:
+            trace.stop_trace()
     return {
         "fingerprint": report.fingerprint,
         "report": report.to_dict(),
@@ -71,4 +87,8 @@ def execute_request(
         # jobs in this process added to the global counters meanwhile
         "compiles": 0 if report.from_cache else compiles.count,
         "stages": {} if report.from_cache else dict(stage_runs.counts),
+        # plain dicts end to end — the payload must survive pickling back
+        # from a spawn-started process worker
+        "trace": collector.to_dicts() if collector is not None else None,
+        "metrics": METRICS.delta_since(metrics_baseline),
     }

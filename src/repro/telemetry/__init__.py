@@ -1,0 +1,96 @@
+"""Observability for the tuning stack: metrics registry + span tracing.
+
+Two halves, both process-wide and zero-configuration:
+
+* :mod:`repro.telemetry.metrics` — the :data:`METRICS` registry of counters,
+  gauges and bucketed histograms (with labels) that every subsystem
+  publishes into, rendered in Prometheus text exposition format by the
+  tuning server's ``GET /metrics`` endpoint;
+* :mod:`repro.telemetry.trace` — opt-in span trees over the request
+  lifecycle (request → search → candidate → pass/measure), exportable as
+  JSONL and Chrome ``trace_event`` JSON and rendered by
+  ``python -m repro.autotune trace``.
+
+Metric reference (name → labels → meaning):
+
+==================================  ==================  =============================================
+``repro_compiles_total``            —                   end-to-end pipeline compiles
+``repro_stage_runs_total``          ``stage``           compiler pass executions
+``repro_pass_seconds``              ``stage``           per-pass wall time (histogram)
+``repro_cache_hits_total``          —                   tuning-cache lookup hits
+``repro_cache_misses_total``        —                   tuning-cache lookup misses
+``repro_cache_puts_total``          —                   reports persisted by this process
+``repro_cache_absorbs_total``       —                   worker reports absorbed without persisting
+``repro_measurements_total``        ``kind``            candidate costings per measurement kind
+``repro_tuning_requests_total``     ``source``          ``autotune()`` calls (``cache`` | ``tuned``)
+``repro_request_seconds``           —                   end-to-end ``autotune()`` wall time
+``repro_http_requests_total``       ``method``,         tuning-server HTTP requests
+                                    ``endpoint``
+``repro_jobs_total``                ``outcome``         service submissions by outcome
+``repro_job_seconds``               —                   per-job wall time (monotonic clock)
+==================================  ==================  =============================================
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    METRICS,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from repro.telemetry.trace import (
+    Span,
+    TraceCollector,
+    active_trace,
+    annotate,
+    capture_trace,
+    coerce_spans,
+    current_span,
+    hotspots,
+    iter_spans,
+    load_trace,
+    record_span,
+    render_hotspots,
+    render_tree,
+    save_trace,
+    span,
+    start_trace,
+    stop_trace,
+    summarize_spans,
+    to_chrome_trace,
+    to_jsonl,
+    trace_pass_hook,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+    "Span",
+    "TraceCollector",
+    "active_trace",
+    "annotate",
+    "capture_trace",
+    "coerce_spans",
+    "current_span",
+    "hotspots",
+    "iter_spans",
+    "load_trace",
+    "parse_prometheus_text",
+    "record_span",
+    "render_hotspots",
+    "render_tree",
+    "save_trace",
+    "span",
+    "start_trace",
+    "stop_trace",
+    "summarize_spans",
+    "to_chrome_trace",
+    "to_jsonl",
+    "trace_pass_hook",
+]

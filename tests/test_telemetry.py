@@ -1,0 +1,411 @@
+"""Tests of ``repro.telemetry``: metrics registry, span tracing, /metrics.
+
+Unit suites exercise registry and collector semantics on private instances;
+the integration suites run real ``autotune()`` calls and a live HTTP server
+and assert the wiring promises: the analysis stage traces exactly once per
+request, worker-side spans survive the pickle boundary, ``/metrics`` renders
+parseable Prometheus text, and disabled telemetry costs (approximately)
+nothing.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.kernels import build_matmul_program
+from repro.telemetry import (
+    METRICS,
+    MetricsRegistry,
+    Span,
+    load_trace,
+    parse_prometheus_text,
+    render_hotspots,
+    render_tree,
+    save_trace,
+    summarize_spans,
+    to_chrome_trace,
+    to_jsonl,
+    trace,
+)
+from repro.telemetry.trace import NULL_SPAN
+from repro.autotune import ConfigurationEvaluator, ConfigurationSpace, SpaceOptions, autotune
+from repro.compiler import CompilationSession
+from repro.service import TuneRequest, TuningClient, TuningServer
+from repro.service.protocol import JobRecord
+from repro.service.worker import execute_request
+
+SMALL_SPACE = SpaceOptions(
+    thread_counts=(64,), block_counts=(16,), tile_candidates_per_geometry=2
+)
+SMALL_SPACE_DICT = {
+    "thread_counts": [64],
+    "block_counts": [16],
+    "tile_candidates_per_geometry": 2,
+}
+
+
+# -- metrics registry --------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_labels_and_render(self):
+        registry = MetricsRegistry()
+        runs = registry.counter("stage_runs_total", "runs", labels=("stage",))
+        runs.inc(stage="tiling")
+        runs.inc(2, stage="tiling")
+        runs.inc(stage="analysis")
+        assert runs.value(stage="tiling") == 3.0
+        parsed = parse_prometheus_text(registry.render())
+        assert parsed["stage_runs_total"][(("stage", "tiling"),)] == 3.0
+        assert parsed["stage_runs_total"][(("stage", "analysis"),)] == 1.0
+
+    def test_unlabeled_counter_renders_at_zero(self):
+        """The CI grep contract: a registered counter is scrapeable before use."""
+        registry = MetricsRegistry()
+        registry.counter("cache_hits_total", "hits")
+        parsed = parse_prometheus_text(registry.render())
+        assert parsed["cache_hits_total"][()] == 0.0
+
+    def test_counter_rejects_decrease_and_label_mismatch(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("total", labels=("kind",))
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1, kind="model")
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc(backend="model")
+
+    def test_registration_is_idempotent_but_strict(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", labels=("source",))
+        assert registry.counter("requests_total", labels=("source",)) is first
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("requests_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("requests_total", labels=("kind",))
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("pass_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        parsed = parse_prometheus_text(registry.render())
+        buckets = parsed["pass_seconds_bucket"]
+        assert buckets[(("le", "0.01"),)] == 1.0
+        assert buckets[(("le", "0.1"),)] == 2.0
+        assert buckets[(("le", "1"),)] == 3.0
+        assert buckets[(("le", "+Inf"),)] == 4.0
+        assert parsed["pass_seconds_count"][()] == 4.0
+        assert parsed["pass_seconds_sum"][()] == pytest.approx(5.555)
+
+    def test_delta_and_absorb_merge_counters_and_histograms(self):
+        """The worker → server shipping path: deltas add, gauges are skipped."""
+        worker = MetricsRegistry()
+        counter = worker.counter("compiles_total")
+        hist = worker.histogram("seconds", buckets=(1.0, 10.0))
+        gauge = worker.gauge("inflight")
+        counter.inc(5)
+        baseline = worker.snapshot()
+        counter.inc(3)
+        hist.observe(0.5)
+        gauge.set(7)
+        delta = worker.delta_since(baseline)
+        assert "inflight" not in delta
+        server = MetricsRegistry()
+        server.counter("compiles_total").inc(100)
+        server.absorb(delta)
+        server.absorb(worker.delta_since(worker.snapshot()))  # empty delta: no-op
+        assert server.get("compiles_total").value() == 103.0
+        assert server.get("seconds").count() == 1.0
+
+    def test_parse_rejects_malformed_exposition(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("this is { not prometheus\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_prometheus_text("metric_total lots\n")
+        with pytest.raises(ValueError, match="bad TYPE"):
+            parse_prometheus_text("# TYPE metric_total speedometer\n")
+
+    def test_global_registry_serves_the_documented_names(self):
+        """Importing the stack registers the metric table from the docs."""
+        import repro.service.server  # noqa: F401 - registers service metrics
+        for name in (
+            "repro_compiles_total",
+            "repro_stage_runs_total",
+            "repro_pass_seconds",
+            "repro_cache_hits_total",
+            "repro_cache_misses_total",
+            "repro_measurements_total",
+            "repro_tuning_requests_total",
+            "repro_request_seconds",
+            "repro_jobs_total",
+            "repro_job_seconds",
+            "repro_http_requests_total",
+        ):
+            assert METRICS.get(name) is not None, name
+
+
+# -- span tracing ------------------------------------------------------------------
+class TestTracing:
+    def test_disabled_tracing_is_the_shared_null_context(self):
+        assert trace.active_trace() is None
+        assert trace.span("a", kind="x") is trace.span("b", kind="y")
+        assert trace.current_span() is NULL_SPAN
+        trace.annotate(ignored=True)  # must not raise
+
+    def test_span_nesting_and_exports(self, tmp_path):
+        with trace.capture_trace() as collector:
+            with trace.span("request", kind="request"):
+                with trace.span("search", kind="search"):
+                    trace.record_span("tiling", "pass", 0.25, fingerprint="abc")
+                trace.annotate(kernel="matmul")
+        (root,) = collector.roots
+        assert root.name == "request" and root.attrs["kernel"] == "matmul"
+        (search,) = root.children
+        (tiling,) = search.children
+        assert tiling.duration_s == pytest.approx(0.25)
+
+        path = tmp_path / "t.json"
+        save_trace(path, collector.roots, meta={"kernel": "matmul"})
+        loaded = load_trace(path)
+        assert summarize_spans(loaded) == summarize_spans(collector.roots)
+        assert "request [request]" in render_tree(loaded)
+        assert "tiling" in render_hotspots(loaded)
+        chrome = to_chrome_trace(loaded)
+        assert len(chrome["traceEvents"]) == 3
+        assert all(e["ph"] == "X" for e in chrome["traceEvents"])
+
+    def test_jsonl_round_trips_through_load_trace(self, tmp_path):
+        with trace.capture_trace() as collector:
+            with trace.span("request", kind="request"):
+                trace.record_span("child", "pass", 0.1)
+        path = tmp_path / "t.jsonl"
+        path.write_text(to_jsonl(collector.roots))
+        loaded = load_trace(path)
+        assert summarize_spans(loaded) == summarize_spans(collector.roots)
+
+    def test_autotune_traces_analysis_exactly_once(self):
+        """The headline nesting: request → search → candidate → measure/pass,
+        with the config-invariant analysis pass traced exactly once."""
+        program = build_matmul_program(16, 16, 16)
+        with trace.capture_trace() as collector:
+            report = autotune(program, strategy="hillclimb", space_options=SMALL_SPACE)
+        (request,) = collector.roots
+        assert request.kind == "request"
+        analysis = [
+            s for s, _ in trace.iter_spans(collector.roots)
+            if s.kind == "pass" and s.name == "analysis"
+        ]
+        assert len(analysis) == 1
+        searches = [s for s in request.children if s.kind == "search"]
+        assert len(searches) == 1
+        candidates = [s for s in searches[0].children if s.kind == "candidate"]
+        assert len(candidates) == len(report.results)
+        for candidate in candidates:
+            kinds = [child.kind for child in candidate.children]
+            assert "measure" in kinds
+        measures = [
+            s for s, _ in trace.iter_spans(collector.roots) if s.kind == "measure"
+        ]
+        # model-backend measures replay the config-dependent stages
+        assert any(
+            child.name in ("tiling", "scratchpad", "mapping")
+            for m in measures for child in m.children
+        )
+
+    def test_untraced_autotune_records_nothing(self):
+        program = build_matmul_program(16, 16, 16)
+        autotune(program, strategy="hillclimb", space_options=SMALL_SPACE, seed=3)
+        assert trace.active_trace() is None
+
+
+# -- the pickle contract (satellite: hook re-attachment) ---------------------------
+class TestHookPickleContract:
+    def test_pass_manager_drops_hooks_on_pickle(self):
+        session = CompilationSession(build_matmul_program(16, 16, 16))
+        session.manager.add_hook(trace.trace_pass_hook)
+        session.manager.add_hook(trace.trace_pass_hook)  # idempotent
+        assert session.manager._hooks == [trace.trace_pass_hook]
+        clone = pickle.loads(pickle.dumps(session))
+        assert clone.manager._hooks == []
+
+    def test_evaluator_reattaches_trace_hook_after_unpickling(self):
+        """Worker-side pass spans are not lost: ``__setstate__`` re-attaches
+        the telemetry hook whenever the unpickling process is tracing."""
+        program = build_matmul_program(16, 16, 16)
+        with trace.capture_trace() as collector:
+            evaluator = ConfigurationEvaluator(program)
+            space = ConfigurationSpace(
+                program, space_options=SMALL_SPACE, session=evaluator.session
+            )
+            config = space.enumerate()[0]
+            clone = pickle.loads(pickle.dumps(evaluator))
+            assert trace.trace_pass_hook in clone._session.manager._hooks
+            before = sum(
+                1 for s, _ in trace.iter_spans(collector.roots) if s.kind == "pass"
+            )
+            result = clone.evaluate(config)
+        assert result.feasible
+        after = sum(
+            1 for s, _ in trace.iter_spans(collector.roots) if s.kind == "pass"
+        )
+        assert after > before  # the clone's replay produced pass spans
+
+    def test_evaluator_unpickled_without_tracing_stays_unhooked(self):
+        evaluator = ConfigurationEvaluator(build_matmul_program(16, 16, 16))
+        evaluator.session.manager.add_hook(trace.trace_pass_hook)
+        assert trace.active_trace() is None
+        clone = pickle.loads(pickle.dumps(evaluator))
+        assert clone._session.manager._hooks == []
+
+    def test_worker_ships_trace_and_metrics_delta(self):
+        """``execute_request`` returns picklable span dicts + a metrics delta."""
+        payload = TuneRequest(
+            kernel="matmul",
+            sizes={"m": 16, "n": 16, "k": 16},
+            strategy="hillclimb",
+            space=SMALL_SPACE_DICT,
+            trace=True,
+        ).to_dict()
+        outcome = execute_request(payload)
+        assert trace.active_trace() is None  # collector uninstalled afterwards
+        spans = outcome["trace"]
+        assert spans and isinstance(spans[0], dict)
+        summary = summarize_spans(spans)
+        assert summary["request"]["spans"] == 1
+        assert "candidate" in summary and "pass" in summary
+        pickle.dumps(outcome)  # the whole payload must cross a process pool
+        delta = outcome["metrics"]
+        assert "repro_stage_runs_total" in delta
+        stage_samples = delta["repro_stage_runs_total"]["samples"]
+        assert any("analysis" in key for key in stage_samples)
+
+
+# -- service integration -----------------------------------------------------------
+class TestServiceTelemetry:
+    @pytest.fixture
+    def server(self):
+        server = TuningServer(port=0, executor="thread", max_workers=2).start()
+        yield server
+        server.stop()
+
+    def test_metrics_endpoint_and_traced_job(self, server):
+        client = TuningClient(server.url)
+        request = TuneRequest(
+            kernel="matmul",
+            sizes={"m": 16, "n": 16, "k": 16},
+            strategy="hillclimb",
+            space=SMALL_SPACE_DICT,
+            trace=True,
+        )
+        job = client.submit(request).job(timeout=300)
+        assert job["status"] == "done"
+        # satellite: monotonic duration captured at completion
+        assert job["duration_s"] is not None and job["duration_s"] >= 0.0
+        assert job["finished_at"] >= job["created_at"] - 1.0  # wall clocks only render
+        assert job["trace"], "a trace-requested job must ship its span tree"
+        assert job["span_summary"]["request"]["spans"] == 1
+        assert "candidate" in job["span_summary"]
+
+        # warm resubmission: served at submit time, no worker, no new trace
+        warm = client.submit(request).job(timeout=60)
+        assert warm["from_cache"] is True
+        assert warm["duration_s"] is not None and warm["duration_s"] < 1.0
+
+        text = client.metrics()
+        parsed = parse_prometheus_text(text)  # the scrape lint
+        assert any(
+            dict(labels).get("stage") == "analysis"
+            for labels in parsed["repro_stage_runs_total"]
+        )
+        assert "repro_cache_hits_total" in parsed
+        assert any(
+            dict(labels).get("endpoint") == "/tune"
+            for labels in parsed["repro_http_requests_total"]
+        )
+        outcomes = {
+            dict(labels)["outcome"]: value
+            for labels, value in parsed["repro_jobs_total"].items()
+        }
+        assert outcomes.get("tuned", 0) >= 1 and outcomes.get("cached", 0) >= 1
+
+    def test_untraced_job_has_no_trace_payload(self, server):
+        client = TuningClient(server.url)
+        request = TuneRequest(
+            kernel="matmul",
+            sizes={"m": 16, "n": 16, "k": 16},
+            space=SMALL_SPACE_DICT,
+            seed=11,
+        )
+        job = client.submit(request).job(timeout=300)
+        assert job["status"] == "done"
+        assert job["trace"] is None
+        assert job["span_summary"] is None
+        assert job["duration_s"] is not None
+
+
+# -- protocol additions ------------------------------------------------------------
+class TestProtocolTelemetry:
+    def test_trace_flag_travels_but_does_not_split_the_fingerprint(self):
+        base = TuneRequest(kernel="matmul", sizes={"m": 16, "n": 16, "k": 16})
+        traced = TuneRequest(
+            kernel="matmul", sizes={"m": 16, "n": 16, "k": 16}, trace=True
+        )
+        assert TuneRequest.from_dict(traced.to_dict()).trace is True
+        assert base.resolve().fingerprint == traced.resolve().fingerprint
+        with pytest.raises(ValueError, match="trace must be a boolean"):
+            TuneRequest(kernel="matmul", trace="yes")
+
+    def test_mark_finished_is_monotonic_and_idempotent(self):
+        record = JobRecord(id="j", fingerprint="f", request={})
+        time.sleep(0.01)
+        record.mark_finished()
+        first = (record.duration_s, record.finished_at)
+        assert record.duration_s >= 0.01
+        record.mark_finished()  # second stamp must not move the timestamps
+        assert (record.duration_s, record.finished_at) == first
+        payload = record.to_dict()
+        assert payload["duration_s"] == record.duration_s
+        assert "created_mono" not in payload  # server-local, never serialized
+
+
+# -- the overhead guard (satellite) ------------------------------------------------
+class TestDisabledOverhead:
+    def test_disabled_telemetry_overhead_is_within_budget(self):
+        """Telemetry off must cost < 3% of a hillclimb matmul tune.
+
+        Directly comparing two tune wall times is hopelessly noisy at CI
+        scale, so the bound is computed the robust way: microbench the
+        disabled-path primitives (null span entry, counter bump), multiply by
+        a generous estimate of how many such operations the tune performed,
+        and require that total to stay under 3% of the measured tune time.
+        """
+        assert trace.active_trace() is None
+        program = build_matmul_program(16, 16, 16)
+        started = time.perf_counter()
+        report = autotune(
+            program, strategy="hillclimb", space_options=SMALL_SPACE, seed=7
+        )
+        tune_seconds = time.perf_counter() - started
+
+        rounds = 2000
+        started = time.perf_counter()
+        for _ in range(rounds):
+            with trace.span("candidate", kind="candidate", blocks=16):
+                pass
+        span_cost = (time.perf_counter() - started) / rounds
+
+        counter = METRICS.counter("repro_stage_runs_total", labels=("stage",))
+        started = time.perf_counter()
+        for _ in range(rounds):
+            counter.inc(stage="tiling")
+        counter_cost = (time.perf_counter() - started) / rounds
+
+        # per evaluation: ~6 spans/annotations and ~8 counter/histogram ops,
+        # doubled for headroom
+        ops = (len(report.results) + 2) * 2 * (6 + 8)
+        overhead = ops * max(span_cost, counter_cost)
+        assert overhead < 0.03 * tune_seconds, (
+            f"estimated disabled-telemetry overhead {1e3 * overhead:.2f} ms "
+            f"exceeds 3% of the {tune_seconds:.2f}s tune"
+        )
