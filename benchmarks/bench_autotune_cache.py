@@ -252,7 +252,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 return 1
     print_series("Cache store microbench (per-backend put/get/warm-hit)", rows)
     if args.json:
-        from conftest import write_bench_json
+        from conftest import write_bench_history, write_bench_json
 
         write_bench_json(
             args.json,
@@ -260,6 +260,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             {"entries": entries, "payload_bytes": payload, "stores": rows},
         )
         print(f"json -> {args.json}")
+
+        # one cold + one warm request against the same cache, both recorded in
+        # a history store, so BENCH_history.json shows the hit/miss pair
+        with tempfile.TemporaryDirectory(prefix="bench-cache-history-") as root:
+            history = str(Path(root) / "history.jsonl")
+            cache = TuningCache(str(Path(root) / "cache.json"))
+            small = SpaceOptions(
+                thread_counts=(64,), block_counts=(16,), tile_candidates_per_geometry=2
+            )
+            program = build_matmul_program(32, 32, 32)
+            for _ in range(2):
+                autotune(
+                    program,
+                    space_options=small,
+                    seed=DEFAULT_SEED,
+                    cache=cache,
+                    history=history,
+                )
+            history_out = str(Path(args.json).with_name("BENCH_history.json"))
+            write_bench_history(history_out, "bench_autotune_cache", history)
+            print(f"history json -> {history_out}")
     return 0
 
 

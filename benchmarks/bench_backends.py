@@ -23,7 +23,9 @@ Runs standalone for CI smoke checks::
 from __future__ import annotations
 
 import argparse
+import tempfile
 import time
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 import pytest
@@ -36,6 +38,7 @@ from repro.autotune import (
 )
 from repro.compiler import CompilationSession
 from repro.kernels import build_matmul_program
+from repro.telemetry.history import spearman_rho
 
 from conftest import DEFAULT_SEED, print_series
 
@@ -46,22 +49,6 @@ SPACE = SpaceOptions(
 )
 FAST_PY = "measure-py:warmup=0,repeat=3,trim=0.34"
 HYBRID = f"hybrid:model>{FAST_PY}?top=4"
-
-
-def spearman_rho(xs: Sequence[float], ys: Sequence[float]) -> float:
-    """Spearman rank correlation (scipy, average ranks on ties).
-
-    A degenerate (constant) sample has no ranking to correlate; scipy says
-    nan, we report 1.0 when the inputs agree trivially and 0.0 otherwise.
-    """
-    if len(xs) != len(ys) or len(xs) < 2:
-        raise ValueError("need two equal-length samples of at least 2 points")
-    from scipy import stats  # already a hard dependency (SLSQP tile search)
-
-    rho = stats.spearmanr(list(xs), list(ys)).statistic
-    if rho != rho:  # nan: at least one sample is constant
-        return 1.0 if list(xs) == list(ys) else 0.0
-    return float(rho)
 
 
 def rank_correlation(size: int) -> Dict[str, object]:
@@ -97,14 +84,20 @@ def rank_correlation(size: int) -> Dict[str, object]:
     }
 
 
-def tune_walltime(size: int) -> List[Dict[str, object]]:
-    """One complete autotune request per backend over the same space."""
+def tune_walltime(size: int, history: Optional[str] = None) -> List[Dict[str, object]]:
+    """One complete autotune request per backend over the same space.
+
+    When ``history`` names a store path every request also appends its
+    :class:`~repro.telemetry.history.HistoryRecord` there, so the bench's
+    winner trend can be read back for ``BENCH_history.json``.
+    """
     rows: List[Dict[str, object]] = []
     for label, backend in (("model", "model:"), ("measure-py", FAST_PY), ("hybrid", HYBRID)):
         program = build_matmul_program(size, size, size)
         start = time.perf_counter()
         report = autotune(
-            program, space_options=SPACE, seed=DEFAULT_SEED, backend=backend
+            program, space_options=SPACE, seed=DEFAULT_SEED, backend=backend,
+            history=history,
         )
         elapsed = time.perf_counter() - start
         rows.append(
@@ -160,21 +153,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"model vs measure-py rank agreement (matmul {size}^3)",
         [stats],
     )
-    rows = tune_walltime(size)
-    print_series(f"per-backend tune wall-time (matmul {size}^3)", rows)
-    print(
-        f"\nspearman rho {stats['spearman_rho']:.2f} over {stats['candidates']} "
-        f"candidates; measured winner sits at model rank {stats['winner_model_rank']}"
-    )
-    if args.json:
-        from conftest import write_bench_json
-
-        write_bench_json(
-            args.json,
-            "bench_backends",
-            {"size": size, "rank_agreement": stats, "tune_walltime": rows},
+    with tempfile.TemporaryDirectory(prefix="bench-backends-") as scratch:
+        history = str(Path(scratch) / "history.jsonl") if args.json else None
+        rows = tune_walltime(size, history=history)
+        print_series(f"per-backend tune wall-time (matmul {size}^3)", rows)
+        print(
+            f"\nspearman rho {stats['spearman_rho']:.2f} over {stats['candidates']} "
+            f"candidates; measured winner sits at model rank {stats['winner_model_rank']}"
         )
-        print(f"json -> {args.json}")
+        if args.json:
+            from conftest import write_bench_history, write_bench_json
+
+            write_bench_json(
+                args.json,
+                "bench_backends",
+                {"size": size, "rank_agreement": stats, "tune_walltime": rows},
+            )
+            print(f"json -> {args.json}")
+            history_out = str(Path(args.json).with_name("BENCH_history.json"))
+            write_bench_history(history_out, "bench_backends", history)
+            print(f"history json -> {history_out}")
     return 0
 
 

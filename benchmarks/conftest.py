@@ -73,3 +73,50 @@ def write_bench_json(path: str, section: str, payload: Dict[str, object]) -> Non
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def write_bench_history(path: str, section: str, history_path: str) -> None:
+    """Summarise a tuning-history store into ``path`` (``BENCH_history.json``).
+
+    Reads the JSONL history the bench appended to and writes, per
+    (kernel, spec, backend) group, the winner-time trend (oldest → newest)
+    plus the percentile rollup — the repo's machine-readable perf
+    trajectory.  Same one-section-per-bench merge discipline as
+    :func:`write_bench_json`.
+    """
+    import json
+    import os
+
+    from repro.telemetry.history import HistoryStore, group_records, rollup
+
+    store = HistoryStore(history_path)
+    records = store.records()
+    trends: Dict[str, object] = {}
+    for key, group in sorted(group_records(records).items()):
+        ordered = sorted(group, key=lambda r: r.ts)
+        label = f"{key[0]}|{key[1]}|{key[2]}"
+        trends[label] = {
+            "kernel": key[0],
+            "spec": key[1],
+            "backend": key[2],
+            "winner_ms": [round(r.winner_ms, 6) for r in ordered],
+            "evaluations": [r.evaluations for r in ordered],
+            "rho": [r.rho for r in ordered],
+            "best_ms": round(min(r.winner_ms for r in ordered), 6),
+        }
+
+    document: Dict[str, object] = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                document = json.load(handle)
+            except ValueError:
+                document = {}
+    document[section] = {
+        "records": len(records),
+        "trends": trends,
+        "rollup": rollup(records),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 from repro.compiler import CompilationSession
 from repro.machine.spec import GPUSpec
 from repro.telemetry import trace
+from repro.telemetry.events import EVENTS
 from repro.telemetry.metrics import METRICS
 
 MEASUREMENTS_TOTAL = METRICS.counter(
@@ -173,6 +174,14 @@ class EvaluationBackend:
                 **self._timing_provenance(),
             )
         MEASUREMENTS_TOTAL.inc(kind=measurement.kind)
+        if EVENTS.enabled("debug"):
+            EVENTS.emit(
+                "candidate.measure",
+                level="debug",
+                kind=measurement.kind,
+                time_ms=round(measurement.time_ms, 4),
+                feasible=measurement.feasible,
+            )
         return measurement
 
     def _checked_measure(self, configuration: Any) -> Measurement:

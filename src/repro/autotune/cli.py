@@ -83,7 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
         "'cache-stats --cache STORE' prints cache statistics; "
         "'cache-prune --cache STORE --max-entries N' drops the oldest entries; "
         "'cache-migrate SRC DST' converts between backends "
-        "(PATH.json | dir:DIR | log:FILE).",
+        "(PATH.json | dir:DIR | log:FILE); "
+        "'trace FILE' renders a --trace capture; "
+        "'history {list,show,compare,check} FILE' inspects a --history "
+        "store and gates CI on perf regressions.",
     )
     parser.add_argument("kernel", nargs="?", help="registered kernel name")
     parser.add_argument(
@@ -163,6 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a span trace of this tuning run and save it to FILE "
         "(inspect with 'python -m repro.autotune trace FILE')",
     )
+    parser.add_argument(
+        "--history",
+        metavar="STORE",
+        default=None,
+        help="append one HistoryRecord for this request to a JSONL history "
+        "file (inspect with 'python -m repro.autotune history list STORE')",
+    )
     return parser
 
 
@@ -215,6 +225,142 @@ def trace_main(argv: Sequence[str]) -> int:
             handle.write(trace.to_jsonl(roots))
         print(f"jsonl -> {args.jsonl}")
     return 0
+
+
+def history_main(argv: Sequence[str]) -> int:
+    """``history {list,show,compare,check} FILE``: the regression sentinel.
+
+    ``list`` prints per-(kernel, spec, backend) percentile rollups, ``show``
+    the raw records, ``compare`` the current window of each group against
+    its prior records, and ``check`` exits 1 when any group's winner time or
+    evaluation count regressed beyond ``--threshold`` — the CI gate.
+    """
+    from repro.telemetry.history import (
+        HistoryStore,
+        check_history,
+        compare_windows,
+        parse_threshold,
+        rollup,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.autotune history",
+        description="Inspect a persistent tuning history (JSONL of one "
+        "HistoryRecord per completed request) and gate on regressions.",
+    )
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+    for name, description in (
+        ("list", "per-(kernel, spec, backend) percentile rollups"),
+        ("show", "raw history records, oldest first"),
+        ("compare", "current window of each group vs its prior records"),
+        ("check", "exit 1 when the current window regressed (the CI gate)"),
+    ):
+        command = sub.add_parser(name, help=description)
+        command.add_argument("file", metavar="FILE", help="history JSONL file")
+        if name == "show":
+            command.add_argument(
+                "--last", type=int, default=20, help="records to show (default: 20)"
+            )
+        if name in ("compare", "check"):
+            command.add_argument(
+                "--window",
+                type=int,
+                default=1,
+                help="records per group forming the current window (default: 1)",
+            )
+        if name == "check":
+            command.add_argument(
+                "--threshold",
+                default="10%",
+                help="tolerated regression, e.g. '5%%' or 0.05 (default: 10%%)",
+            )
+    args = parser.parse_args(argv)
+
+    store = HistoryStore(args.file)
+    records = store.records()
+    if store._corrupt_lines:
+        print(
+            f"warning: skipped {store._corrupt_lines} corrupt history line(s)",
+            file=sys.stderr,
+        )
+    if not records:
+        print(f"history {args.file}: no records", file=sys.stderr)
+        return 0 if args.subcommand in ("list", "show") else 2
+
+    if args.subcommand == "list":
+        print(f"history {args.file}: {len(records)} records")
+        header = (
+            f"{'kernel':<12} {'spec':<18} {'backend':<28} {'runs':>4} {'hits':>4} "
+            f"{'best_ms':>9} {'p50_ms':>9} {'p90_ms':>9} {'evals':>6} {'rho':>5}"
+        )
+        print(header)
+        for row in rollup(records):
+            rho = f"{row['mean_rho']:.2f}" if row["mean_rho"] is not None else "-"
+            print(
+                f"{row['kernel']:<12} {row['spec']:<18} {row['backend']:<28} "
+                f"{row['requests']:>4} {row['cache_hits']:>4} "
+                f"{row['best_ms']:>9.3f} {row['p50_ms']:>9.3f} {row['p90_ms']:>9.3f} "
+                f"{row['mean_evaluations']:>6.1f} {rho:>5}"
+            )
+        return 0
+
+    if args.subcommand == "show":
+        for record in records[-args.last:]:
+            rho = f" rho={record.rho:.2f}" if record.rho is not None else ""
+            trace_id = f" trace={record.trace_id}" if record.trace_id else ""
+            job = f" job={record.job_id}" if record.job_id else ""
+            print(
+                f"{record.kernel} [{record.backend}] "
+                f"{'hit ' if record.cache_hit else 'tune'} "
+                f"winner={record.winner_ms:.3f}ms ({record.winner_kind}) "
+                f"evals={record.evaluations} wall={record.wall_s:.3f}s "
+                f"source={record.source}{rho}{trace_id}{job}"
+            )
+        return 0
+
+    if args.subcommand == "compare":
+        print(f"history {args.file}: window={args.window} over {len(records)} records")
+        for row in compare_windows(records, window=args.window):
+            if row["delta_pct"] is None:
+                delta = "new (no prior window)"
+            else:
+                delta = (
+                    f"{row['delta_pct']:+.1f}% "
+                    f"({row['prior_best_ms']:.3f} -> {row['current_best_ms']:.3f} ms)"
+                )
+            print(
+                f"{row['kernel']:<12} {row['spec']:<18} {row['backend']:<28} {delta}"
+            )
+        return 0
+
+    # check: the CI gate
+    try:
+        parse_threshold(args.threshold)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    failures, rows = check_history(
+        records, window=args.window, threshold=args.threshold
+    )
+    compared = sum(1 for row in rows if row["delta_pct"] is not None)
+    if not failures:
+        print(
+            f"history check passed: {compared} group(s) compared, "
+            f"{len(rows) - compared} new, threshold {args.threshold}"
+        )
+        return 0
+    print(
+        f"history check FAILED: {len(failures)} group(s) regressed beyond "
+        f"{args.threshold}",
+        file=sys.stderr,
+    )
+    for failure in failures:
+        for reason in failure["reasons"]:
+            print(
+                f"  {failure['kernel']} [{failure['backend']}]: {reason}",
+                file=sys.stderr,
+            )
+    return 1
 
 
 def _cache_tools_parser(command: str) -> argparse.ArgumentParser:
@@ -423,6 +569,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cache_migrate_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "history":
+        return history_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -473,6 +621,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         check_correctness=args.check,
                         check_program=kernel.build_check() if args.check else None,
                         backend=args.backend,
+                        history=args.history,
                     )
                 except BackendUnavailable as error:
                     print(f"error: {error}", file=sys.stderr)

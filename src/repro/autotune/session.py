@@ -21,6 +21,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.compiler import CompilationSession
 from repro.telemetry import trace
+from repro.telemetry.events import EVENTS, events_pass_hook
+from repro.telemetry.history import HistoryRecord, HistoryStore, open_history, spearman_rho
 from repro.telemetry.metrics import METRICS
 from repro.core.options import MappingOptions
 from repro.ir.printer import program_to_c
@@ -169,6 +171,9 @@ def _prepare_request(
         # Attach before the space construction below triggers the analysis
         # pass, so a traced request shows analysis as its first pass span.
         compile_session.manager.add_hook(trace.trace_pass_hook)
+    if EVENTS.enabled("debug"):
+        # debug-level log narration of every compiler stage (stage.complete)
+        compile_session.manager.add_hook(events_pass_hook)
     space = ConfigurationSpace(
         program,
         spec=spec,
@@ -222,6 +227,19 @@ def tuning_fingerprint(
     return key
 
 
+def _model_measured_pairs(
+    results: Sequence[EvaluationResult],
+) -> List[Any]:
+    """(model_ms, measured_ms) pairs the hybrid backend stamped while
+    re-measuring survivors (``measurement.metadata["model_time_ms"]``)."""
+    pairs = []
+    for result in results:
+        measurement = result.measurement
+        if measurement is not None and "model_time_ms" in measurement.metadata:
+            pairs.append((measurement.metadata["model_time_ms"], result.time_ms))
+    return pairs
+
+
 def autotune(
     program: Program,
     spec: GPUSpec = GEFORCE_8800_GTX,
@@ -236,6 +254,7 @@ def autotune(
     check_correctness: bool = False,
     check_program: Optional[Program] = None,
     backend: Union[str, EvaluationBackend, None] = None,
+    history: Union[HistoryStore, str, Path, None] = None,
 ) -> TuningReport:
     """Empirically tune the mapping of ``program`` on ``spec``.
 
@@ -272,6 +291,13 @@ def autotune(
         and measured reports never answer for each other.  Raises
         :class:`~repro.autotune.backends.BackendUnavailable` before any
         tuning work when the host cannot run the backend.
+    history:
+        A :class:`~repro.telemetry.history.HistoryStore` (or a JSONL path
+        one accepts); every completed request — warm hits included —
+        appends one :class:`~repro.telemetry.history.HistoryRecord` there.
+        The record is also attached to the returned report as
+        ``report.history_record`` (even when no store is given), which is
+        how the tuning service ships it back from worker processes.
     """
     if max_workers <= 0:
         raise ValueError("max_workers must be positive")
@@ -279,6 +305,7 @@ def autotune(
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     if cache is not None and not isinstance(cache, TuningCache):
         cache = TuningCache(cache)
+    history = open_history(history)
     started = time.perf_counter()
     # fallback=True: candidate spans opened on evaluator pool threads adopt
     # this span as their parent (see repro.telemetry.trace).
@@ -292,13 +319,36 @@ def autotune(
         request_span.annotate(
             strategy=strategy.name, backend=backend.uri(), fingerprint=key[:16]
         )
+        collector = trace.active_trace()
+        trace_id = collector.trace_id if collector is not None else None
+        if trace_id is not None:
+            request_span.annotate(trace_id=trace_id)
         if cache is not None:
             stored = cache.get(key)
             if stored is not None:
                 request_span.annotate(source="cache")
                 TUNING_REQUESTS_TOTAL.inc(source="cache")
                 REQUEST_SECONDS.observe(time.perf_counter() - started)
-                return TuningReport.from_dict(stored, from_cache=True)
+                report = TuningReport.from_dict(stored, from_cache=True)
+                record = HistoryRecord(
+                    kernel=report.kernel_name,
+                    fingerprint=key,
+                    spec_name=report.spec_name,
+                    strategy=report.strategy,
+                    backend=report.backend,
+                    cache_hit=True,
+                    winner_ms=report.best.time_ms,
+                    winner_kind=report.best.measurement_kind,
+                    baseline_ms=report.baseline.time_ms,
+                    evaluations=0,
+                    wall_s=time.perf_counter() - started,
+                    trace_id=trace_id,
+                    seed=report.seed,
+                )
+                report.history_record = record
+                if history is not None:
+                    history.append(record)
+                return report
 
         if max_workers > 1 and backend.measures_wall_clock:
             # K concurrent timed runs contend for the same cores and inflate
@@ -342,6 +392,13 @@ def autotune(
         # backend's too, so a model-priced survivor can never outrank a
         # measured one on incomparable milliseconds.
         with trace.span("finalize", kind="finalize", backend=backend.uri()):
+            EVENTS.emit(
+                "request.finalize",
+                level="debug",
+                kernel=program.name,
+                backend=backend.uri(),
+                survivors=len(results),
+            )
             results = evaluator.finalize(results, ensure=(seed_config,))
         baseline = next(
             (r for r in results if r.configuration == seed_config), results[0]
@@ -359,11 +416,44 @@ def autotune(
         )
         if cache is not None:
             cache.put(key, report.to_dict())
+            EVENTS.emit(
+                "cache.put", level="debug", kernel=program.name, fingerprint=key[:16]
+            )
         request_span.annotate(
             source="tuned", evaluations=len(results), best_ms=report.best.time_ms
         )
         TUNING_REQUESTS_TOTAL.inc(source="tuned")
-        REQUEST_SECONDS.observe(time.perf_counter() - started)
+        wall_s = time.perf_counter() - started
+        REQUEST_SECONDS.observe(wall_s)
+        pairs = _model_measured_pairs(results)
+        rho = (
+            spearman_rho([p[0] for p in pairs], [p[1] for p in pairs])
+            if len(pairs) >= 2
+            else None
+        )
+        record = HistoryRecord(
+            kernel=report.kernel_name,
+            fingerprint=key,
+            spec_name=report.spec_name,
+            strategy=report.strategy,
+            backend=report.backend,
+            cache_hit=False,
+            winner_ms=report.best.time_ms,
+            winner_kind=report.best.measurement_kind,
+            baseline_ms=report.baseline.time_ms,
+            evaluations=len(results),
+            stage_seconds={
+                row["stage"]: row["total_ms"] / 1e3
+                for row in compile_session.stage_report()
+            },
+            rho=rho,
+            wall_s=wall_s,
+            trace_id=trace_id,
+            seed=seed,
+        )
+        report.history_record = record
+        if history is not None:
+            history.append(record)
         return report
 
 
@@ -382,6 +472,8 @@ def autotune_batch(
     if cache is not None and not isinstance(cache, TuningCache):
         # open the store once for the whole batch, not once per job
         kwargs["cache"] = TuningCache(cache)
+    if kwargs.get("history") is not None:
+        kwargs["history"] = open_history(kwargs["history"])
     reports: List[TuningReport] = []
     for job in jobs:
         if isinstance(job, Program):

@@ -11,6 +11,11 @@ Submit a request (``--wait`` blocks and prints the report) and shut down::
         --url http://127.0.0.1:8037 --wait
     python -m repro.service stats --url http://127.0.0.1:8037
     python -m repro.service shutdown --url http://127.0.0.1:8037
+
+Watch a running fleet (curses-free; polls /healthz + /cache/stats +
+/metrics)::
+
+    python -m repro.service top --url http://127.0.0.1:8037 --interval 2
 """
 
 from __future__ import annotations
@@ -19,9 +24,11 @@ import argparse
 import signal
 import sys
 import threading
+import time
 from typing import Dict, Optional, Sequence
 
-from repro.telemetry import iter_spans, save_trace
+from repro.telemetry import iter_spans, parse_prometheus_text, save_trace
+from repro.telemetry.events import LEVELS, configure as configure_events, emit
 from repro.autotune.cli import parse_sizes
 from repro.autotune.search import EXECUTORS, STRATEGIES
 from repro.autotune.session import TuningReport
@@ -67,6 +74,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU bound on the in-memory overlay of worker results the "
         "server keeps on top of the store (default: the cache's own bound; "
         "evicted entries are re-read from the store)",
+    )
+    serve.add_argument(
+        "--history",
+        default=None,
+        metavar="STORE",
+        help="persistent tuning-history JSONL file (one HistoryRecord per "
+        "completed request; default: in-memory only — /dashboard still "
+        "works, but history is lost on restart)",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit lifecycle events as one JSON object per line instead of "
+        "human-readable text",
+    )
+    serve.add_argument(
+        "--log-level",
+        default="info",
+        choices=sorted(LEVELS, key=LEVELS.get),
+        help="event-log threshold (debug narrates every compiler stage and "
+        "measurement; default: info)",
     )
 
     submit = commands.add_parser("submit", help="submit one tuning request")
@@ -123,10 +151,31 @@ def build_parser() -> argparse.ArgumentParser:
     shutdown = commands.add_parser("shutdown", help="drain and stop a server")
     shutdown.add_argument("--url", default=DEFAULT_URL)
 
+    top = commands.add_parser(
+        "top", help="curses-free live terminal view of a running server"
+    )
+    top.add_argument("--url", default=DEFAULT_URL)
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="number of refreshes before exiting (0 = until interrupted; "
+        "1 prints a single snapshot without clearing the screen)",
+    )
+
     return parser
 
 
 def _serve(args: argparse.Namespace) -> int:
+    # Route the process-wide event log (the library default is a quiet
+    # warning threshold) to stdout for the server's lifetime: every
+    # lifecycle edge the engine emits becomes a log line here.
+    configure_events(
+        json_mode=args.log_json, level=args.log_level, stream=sys.stdout
+    )
     server = TuningServer(
         host=args.host,
         port=args.port,
@@ -134,23 +183,25 @@ def _serve(args: argparse.Namespace) -> int:
         executor=args.executor,
         max_workers=args.workers,
         absorb_limit=args.absorb_limit,
+        history=args.history,
     )
 
     def handle_signal(signum: int, _frame: Optional[object]) -> None:
         name = signal.Signals(signum).name
-        print(f"received {name}: draining in-flight jobs...", flush=True)
+        emit("server.signal", msg=f"received {name}: draining in-flight jobs...")
         threading.Thread(target=server.stop, daemon=True).start()
 
     signal.signal(signal.SIGTERM, handle_signal)
     signal.signal(signal.SIGINT, handle_signal)
 
-    print(
-        f"repro tuning server listening on {server.url} "
-        f"(executor={args.executor}, workers={args.workers}, cache={args.cache})",
-        flush=True,
+    emit(
+        "server.listening",
+        msg=f"repro tuning server listening on {server.url} "
+        f"(executor={args.executor}, workers={args.workers}, "
+        f"cache={args.cache}, history={args.history or 'memory'})",
     )
     server.serve_forever()
-    print("server drained and stopped", flush=True)
+    emit("server.stopped", msg="server drained and stopped")
     return 0
 
 
@@ -252,6 +303,73 @@ def _shutdown(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metric_total(
+    samples: Dict[str, Dict[tuple, float]], name: str, **labels: str
+) -> float:
+    """Sum a parsed metric's samples matching the given label subset."""
+    wanted = set(labels.items())
+    return sum(
+        value
+        for key, value in samples.get(name, {}).items()
+        if wanted <= set(key)
+    )
+
+
+def _render_top(client: TuningClient) -> str:
+    """One frame of the ``top`` view (health + jobs + cache + key metrics)."""
+    health = client.healthz()
+    stats = client.cache_stats()
+    samples = parse_prometheus_text(client.metrics())
+    jobs = health.get("jobs", {})
+    cache = stats.get("cache", {})
+    server = stats.get("server", {})
+    lines = [
+        f"repro tuning fleet @ {client.url}   {time.strftime('%H:%M:%S')}",
+        f"status: {health.get('status', '?')}  "
+        f"executor: {health.get('executor', '?')}x{health.get('workers', '?')}  "
+        f"history: {health.get('history_path') or 'memory'}",
+        "",
+        "jobs      "
+        + "  ".join(f"{state}={jobs.get(state, 0)}" for state in
+                    ("queued", "running", "done", "error")),
+        "outcomes  "
+        + "  ".join(
+            f"{outcome}={_metric_total(samples, 'repro_jobs_total', outcome=outcome):.0f}"
+            for outcome in ("cached", "tuned", "error")
+        ),
+        f"requests  submitted={server.get('submitted', 0)}  "
+        f"deduplicated={server.get('deduplicated', 0)}  "
+        f"cache_hits={server.get('cache_hits', 0)}  "
+        f"tuning_runs={server.get('tuning_runs', 0)}",
+        f"cache     backend={cache.get('backend', '?')}  "
+        f"entries={cache.get('entries', 0)}  bytes={cache.get('bytes', 0)}",
+        f"history   records={_metric_total(samples, 'repro_history_records_total'):.0f}  "
+        f"http_requests={_metric_total(samples, 'repro_http_requests_total'):.0f}",
+    ]
+    return "\n".join(lines)
+
+
+def _top(args: argparse.Namespace) -> int:
+    """Poll ``/healthz`` + ``/cache/stats`` + ``/metrics`` on a cadence."""
+    client = TuningClient(args.url)
+    iteration = 0
+    single_shot = args.iterations == 1
+    while True:
+        frame = _render_top(client)
+        if single_shot:
+            print(frame, flush=True)
+        else:
+            # ANSI clear+home: a live view without curses
+            print(f"\x1b[2J\x1b[H{frame}", flush=True)
+        iteration += 1
+        if args.iterations and iteration >= args.iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -261,6 +379,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "status": _status,
         "stats": _stats,
         "shutdown": _shutdown,
+        "top": _top,
     }
     try:
         return handlers[args.command](args)

@@ -227,6 +227,25 @@ class TuningClient:
                 f"cannot reach tuning server at {self.url}: {error.reason}"
             ) from None
 
+    def dashboard(self) -> str:
+        """The server's ``/dashboard`` page — raw HTML, not JSON."""
+        request = urllib.request.Request(self.url + "/dashboard", method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceError(
+                f"GET /dashboard failed ({error.code})", status=error.code
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach tuning server at {self.url}: {error.reason}"
+            ) from None
+
+    def history_rollup(self) -> Dict[str, Any]:
+        """The server's ``/history`` payload: store stats + per-group rollup."""
+        return self._call("GET", "/history")
+
     def status(self, job_id: str) -> Dict[str, Any]:
         return self._call("GET", f"/status/{job_id}")
 

@@ -287,6 +287,9 @@ class JobRecord:
     trace: Optional[list] = None
     #: per-span-kind rollup (count + total_ms), cheap enough for /status
     span_summary: Optional[Dict[str, Any]] = None
+    #: correlation id of the job's span trace (matches the ``trace_id`` of
+    #: the history record this job appended), present only when traced
+    trace_id: Optional[str] = None
 
     @property
     def finished(self) -> bool:
@@ -313,6 +316,7 @@ class JobRecord:
             "finished_at": self.finished_at,
             "duration_s": self.duration_s,
             "span_summary": dict(self.span_summary) if self.span_summary else None,
+            "trace_id": self.trace_id,
             "request": dict(self.request),
         }
         if include_report:

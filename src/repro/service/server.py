@@ -10,7 +10,14 @@ Two layers:
 * :class:`TuningServer` — a stdlib ``ThreadingHTTPServer`` exposing the
   engine as JSON over HTTP: ``POST /tune``, ``GET /status/<job>``,
   ``GET /cache/stats``, ``GET /healthz``, ``GET /kernels``,
-  ``POST /shutdown``.
+  ``GET /history`` (the tuning-history rollup), ``GET /dashboard``
+  (the HTML fleet view), ``POST /shutdown``.
+
+Every lifecycle edge (submit, dedup-join, start, cache put, done, error)
+emits a structured event through :mod:`repro.telemetry.events`; each
+completed job appends one :class:`~repro.telemetry.history.HistoryRecord`
+to the service's history store — shipped back from process workers
+alongside the metrics delta.
 
 Shutdown is graceful: :meth:`TuningService.drain` rejects new submissions
 (503) while every accepted job runs to completion — and, with a file-backed
@@ -35,8 +42,11 @@ from urllib.parse import urlparse
 from repro.kernels.registry import available_kernels, get_kernel
 from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
 from repro.telemetry import METRICS, summarize_spans
+from repro.telemetry.events import emit
+from repro.telemetry.history import HistoryRecord, HistoryStore, open_history, rollup
 from repro.autotune.cache import TuningCache
 from repro.autotune.search import EXECUTORS
+from repro.service.dashboard import render_dashboard
 from repro.service.protocol import JobRecord, TuneRequest
 from repro.service.worker import execute_request
 
@@ -81,6 +91,7 @@ class TuningService:
         spec: GPUSpec = GEFORCE_8800_GTX,
         max_finished_jobs: int = 1024,
         absorb_limit: Optional[int] = None,
+        history: Union[HistoryStore, str, Path, None] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -95,6 +106,11 @@ class TuningService:
         self.cache = cache if isinstance(cache, TuningCache) else TuningCache(cache)
         if absorb_limit is not None:
             self.cache.set_absorb_limit(absorb_limit)
+        # Always have a history store so /dashboard and the history rollup
+        # work out of the box; without a path it simply stays in memory.
+        # (`or` would be wrong here: an empty store is falsy via __len__.)
+        opened = open_history(history)
+        self.history = opened if opened is not None else HistoryStore()
         self.executor = executor
         self.max_workers = max_workers
         self.spec = spec
@@ -145,12 +161,25 @@ class TuningService:
             if self._draining:
                 raise ServiceUnavailable("server is draining; not accepting new requests")
             self.counters["submitted"] += 1
+            emit(
+                "job.submit",
+                kernel=request.kernel,
+                fingerprint=key[:16],
+                backend=request.backend,
+            )
 
             inflight_id = self._inflight.get(key)
             if inflight_id is not None:
                 job = self._jobs[inflight_id]
                 job.waiters += 1
                 self.counters["deduplicated"] += 1
+                emit(
+                    "job.dedup",
+                    job_id=job.id,
+                    kernel=request.kernel,
+                    fingerprint=key[:16],
+                    waiters=job.waiters,
+                )
                 return job, "deduplicated"
 
             stored = self.cache.get(key)
@@ -169,6 +198,32 @@ class TuningService:
                 job.mark_finished()  # duration_s ~ 0: answered at submission
                 JOBS_TOTAL.inc(outcome="cached")
                 self._jobs[job.id] = job
+                best = stored.get("best") or {}
+                baseline = stored.get("baseline") or {}
+                self.history.append(
+                    HistoryRecord(
+                        kernel=stored.get("kernel_name", request.kernel),
+                        fingerprint=key,
+                        spec_name=stored.get("spec_name", self.spec.name),
+                        strategy=stored.get("strategy", request.strategy),
+                        backend=stored.get("backend", request.backend),
+                        cache_hit=True,
+                        winner_ms=float(best.get("time_ms", 0.0)),
+                        winner_kind=(best.get("measurement") or {}).get("kind", "model"),
+                        baseline_ms=baseline.get("time_ms"),
+                        evaluations=0,
+                        wall_s=job.duration_s or 0.0,
+                        seed=int(stored.get("seed", 0)),
+                        source="server",
+                        job_id=job.id,
+                    )
+                )
+                emit(
+                    "job.cached",
+                    job_id=job.id,
+                    kernel=request.kernel,
+                    fingerprint=key[:16],
+                )
                 self._evict_finished_locked()
                 return job, "cached"
 
@@ -184,7 +239,11 @@ class TuningService:
             # backend (plain .json path, dir: sharded store, log: append log).
             cache_path = self.cache.uri
             task = partial(
-                execute_request, job.request, cache_path=cache_path, spec=self.spec
+                execute_request,
+                job.request,
+                cache_path=cache_path,
+                spec=self.spec,
+                job_id=job.id,
             )
             try:
                 future = self._pool.submit(task)
@@ -196,11 +255,26 @@ class TuningService:
                 job.status = "error"
                 job.mark_finished()
                 JOBS_TOTAL.inc(outcome="error")
+                if job.duration_s is not None:
+                    JOB_SECONDS.observe(job.duration_s)
                 self.counters["failed"] += 1
+                emit(
+                    "job.error",
+                    level="error",
+                    job_id=job.id,
+                    kernel=request.kernel,
+                    error=job.error,
+                )
                 self._evict_finished_locked()
                 return job, "error"
             self._futures[job.id] = future
             future.add_done_callback(partial(self._finish, job.id))
+            emit(
+                "job.start",
+                job_id=job.id,
+                kernel=request.kernel,
+                fingerprint=key[:16],
+            )
             return job, "created"
 
     def _new_job_id(self) -> str:
@@ -230,7 +304,13 @@ class TuningService:
                 job.error = f"{type(error).__name__}: {error}"
                 job.status = "error"
                 JOBS_TOTAL.inc(outcome="error")
+                # Failed jobs burn queue+run wall time too; leaving them out
+                # of the latency histogram would make a flapping fleet look
+                # *faster* the more its jobs die.
+                if job.duration_s is not None:
+                    JOB_SECONDS.observe(job.duration_s)
                 self.counters["failed"] += 1
+                emit("job.error", level="error", job_id=job.id, error=job.error)
                 self._evict_finished_locked()
                 return
             # Populate the result fields before flipping status: "done" is the
@@ -260,6 +340,28 @@ class TuningService:
             # absorb keeps this instance's warm-hit path and stats() current
             # without a redundant read-merge-write.
             self.cache.absorb(job.fingerprint, outcome["report"])
+            emit(
+                "cache.put",
+                level="debug",
+                job_id=job.id,
+                fingerprint=job.fingerprint[:16],
+            )
+            # The worker shipped its history record like the metrics delta;
+            # the server owns the store, so this is the single append per job
+            # whichever executor ran it.
+            history_payload = outcome.get("history")
+            if history_payload is not None:
+                record = HistoryRecord.from_dict(history_payload)
+                record.job_id = job.id
+                job.trace_id = record.trace_id
+                self.history.append(record)
+            emit(
+                "job.done",
+                job_id=job.id,
+                from_cache=outcome["from_cache"],
+                duration_s=round(job.duration_s, 3) if job.duration_s else 0.0,
+                trace_id=job.trace_id,
+            )
             self._evict_finished_locked()
 
     # -- inspection --------------------------------------------------------------------
@@ -321,8 +423,25 @@ class TuningService:
             "workers": self.max_workers,
             "cache_path": self.cache.uri,
             "cache_backend": self.cache.backend,
+            "history_path": self.history.uri,
             "jobs": self.job_counts(),
         }
+
+    def jobs_snapshot(self) -> list:
+        """Lightweight (report-free) snapshots of every retained job."""
+        with self._lock:
+            return [job.to_dict(include_report=False) for job in self._jobs.values()]
+
+    def history_rollup(self) -> Dict[str, Any]:
+        """The ``GET /history`` payload: store stats + per-group rollup."""
+        records = self.history.records()
+        return {"history": self.history.stats(), "rollup": rollup(records)}
+
+    def dashboard_html(self) -> str:
+        """The ``GET /dashboard`` page."""
+        return render_dashboard(
+            self.health(), self.stats(), self.jobs_snapshot(), self.history.records()
+        )
 
     # -- lifecycle ---------------------------------------------------------------------
     def drain(self, timeout: Optional[float] = None) -> None:
@@ -375,7 +494,16 @@ class TuningRequestHandler(BaseHTTPRequestHandler):
     def _count_request(self, method: str, path: str) -> None:
         # fold path parameters so the label space stays bounded: every
         # /status/<job> is one endpoint, and unknown paths are one bucket
-        known = ("/tune", "/shutdown", "/metrics", "/healthz", "/cache/stats", "/kernels")
+        known = (
+            "/tune",
+            "/shutdown",
+            "/metrics",
+            "/healthz",
+            "/cache/stats",
+            "/kernels",
+            "/dashboard",
+            "/history",
+        )
         if path.startswith("/status/"):
             endpoint = "/status"
         elif path in known:
@@ -410,6 +538,12 @@ class TuningRequestHandler(BaseHTTPRequestHandler):
         elif path == "/kernels":
             kernels = [get_kernel(name).describe() for name in available_kernels()]
             self._send_json(200, {"kernels": kernels})
+        elif path == "/dashboard":
+            self._send_text(
+                200, self.service.dashboard_html(), "text/html; charset=utf-8"
+            )
+        elif path == "/history":
+            self._send_json(200, self.service.history_rollup())
         elif path.startswith("/status/"):
             payload = self.service.job_payload(path[len("/status/"):])
             if payload is None:
@@ -488,6 +622,7 @@ class TuningServer:
         max_workers: int = 2,
         spec: GPUSpec = GEFORCE_8800_GTX,
         absorb_limit: Optional[int] = None,
+        history: Union[HistoryStore, str, Path, None] = None,
     ) -> None:
         self.service = TuningService(
             cache=cache,
@@ -495,6 +630,7 @@ class TuningServer:
             max_workers=max_workers,
             spec=spec,
             absorb_limit=absorb_limit,
+            history=history,
         )
         self._httpd = ThreadingHTTPServer((host, port), TuningRequestHandler)
         self._httpd.daemon_threads = True

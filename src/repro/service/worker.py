@@ -30,6 +30,7 @@ def execute_request(
     payload: Mapping[str, Any],
     cache_path: Optional[str] = None,
     spec: Optional[GPUSpec] = None,
+    job_id: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one tuning request to completion; returns the job-completion payload.
 
@@ -79,6 +80,13 @@ def execute_request(
     finally:
         if collector is not None:
             trace.stop_trace()
+    # The worker never appends to a history store itself: the server owns
+    # the store and appends exactly once per job (no double-write when the
+    # worker is a thread sharing the server's process).
+    record = getattr(report, "history_record", None)
+    if record is not None:
+        record.source = "worker"
+        record.job_id = job_id
     return {
         "fingerprint": report.fingerprint,
         "report": report.to_dict(),
@@ -91,4 +99,5 @@ def execute_request(
         # from a spawn-started process worker
         "trace": collector.to_dicts() if collector is not None else None,
         "metrics": METRICS.delta_since(metrics_baseline),
+        "history": record.to_dict() if record is not None else None,
     }

@@ -1,6 +1,6 @@
-"""Observability for the tuning stack: metrics registry + span tracing.
+"""Observability for the tuning stack: metrics, spans, events, history.
 
-Two halves, both process-wide and zero-configuration:
+Four layers, all process-wide and zero-configuration:
 
 * :mod:`repro.telemetry.metrics` — the :data:`METRICS` registry of counters,
   gauges and bucketed histograms (with labels) that every subsystem
@@ -9,7 +9,14 @@ Two halves, both process-wide and zero-configuration:
 * :mod:`repro.telemetry.trace` — opt-in span trees over the request
   lifecycle (request → search → candidate → pass/measure), exportable as
   JSONL and Chrome ``trace_event`` JSON and rendered by
-  ``python -m repro.autotune trace``.
+  ``python -m repro.autotune trace``;
+* :mod:`repro.telemetry.events` — the structured lifecycle event log
+  (``job.submit``, ``cache.put``, ``job.error``, ...) the service narrates
+  through, human- or JSON-rendered (``serve --log-json``);
+* :mod:`repro.telemetry.history` — the persistent per-request tuning
+  history (one :class:`HistoryRecord` per completed request) behind the
+  ``python -m repro.autotune history`` regression sentinel and the
+  server's ``GET /dashboard``.
 
 Metric reference (name → labels → meaning):
 
@@ -28,6 +35,7 @@ Metric reference (name → labels → meaning):
                                     ``endpoint``
 ``repro_jobs_total``                ``outcome``         service submissions by outcome
 ``repro_job_seconds``               —                   per-job wall time (monotonic clock)
+``repro_history_records_total``     ``source``          history records appended, by producer
 ==================================  ==================  =============================================
 """
 
@@ -63,12 +71,33 @@ from repro.telemetry.trace import (
     to_jsonl,
     trace_pass_hook,
 )
+from repro.telemetry.events import (
+    EVENTS,
+    EventLog,
+    configure as configure_events,
+    emit,
+    events_pass_hook,
+)
+from repro.telemetry.history import (
+    HistoryRecord,
+    HistoryStore,
+    check_history,
+    compare_windows,
+    open_history,
+    parse_threshold,
+    rollup,
+    spearman_rho,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "EVENTS",
+    "EventLog",
     "Gauge",
     "Histogram",
+    "HistoryRecord",
+    "HistoryStore",
     "METRICS",
     "MetricsRegistry",
     "Span",
@@ -76,13 +105,22 @@ __all__ = [
     "active_trace",
     "annotate",
     "capture_trace",
+    "check_history",
     "coerce_spans",
+    "compare_windows",
+    "configure_events",
     "current_span",
+    "emit",
+    "events_pass_hook",
     "hotspots",
     "iter_spans",
     "load_trace",
+    "open_history",
     "parse_prometheus_text",
+    "parse_threshold",
     "record_span",
+    "rollup",
+    "spearman_rho",
     "render_hotspots",
     "render_tree",
     "save_trace",

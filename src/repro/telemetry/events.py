@@ -1,0 +1,136 @@
+"""Structured event log for the tuning stack's lifecycle edges.
+
+Metrics aggregate, spans time, events *narrate*: each call to :func:`emit`
+writes one line describing a lifecycle edge (``job.submit``, ``job.start``,
+``cache.put``, ``job.error``, ...) carrying whatever correlation ids the
+call site has — request fingerprint, job id, trace id — so a fleet operator
+can stitch a single request's path across server, worker, and cache from
+the log alone.
+
+Two renderings of the same stream:
+
+* human (default): ``HH:MM:SS LEVEL event message key=value ...`` — what
+  ``serve`` prints to a terminal;
+* JSON (``--log-json``): one ``json.dumps`` object per line with sorted
+  keys, greppable and machine-parseable (``{"event": "job.submit", ...}``).
+
+The module-level :data:`EVENTS` log defaults to the ``warning`` threshold so
+importing the library stays quiet; entry points (``repro.service.cli
+serve``) call :func:`configure` to open it up.  Rendering failures never
+propagate into the tuning path — an event log that can crash the server is
+worse than no event log.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Dict, IO, Optional
+
+__all__ = [
+    "EVENTS",
+    "EventLog",
+    "LEVELS",
+    "configure",
+    "emit",
+    "events_pass_hook",
+]
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class EventLog:
+    """A line-oriented event sink with a level threshold and two renderers."""
+
+    def __init__(
+        self,
+        json_mode: bool = False,
+        level: str = "warning",
+        stream: Optional[IO[str]] = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._json = json_mode
+        self._threshold = LEVELS[level]
+        self._stream = stream  # None = resolve sys.stderr at emit time
+
+    def configure(
+        self,
+        json_mode: Optional[bool] = None,
+        level: Optional[str] = None,
+        stream: Optional[IO[str]] = None,
+    ) -> None:
+        with self._lock:
+            if json_mode is not None:
+                self._json = json_mode
+            if level is not None:
+                if level not in LEVELS:
+                    raise ValueError(
+                        f"unknown log level {level!r} (choose from {sorted(LEVELS)})"
+                    )
+                self._threshold = LEVELS[level]
+            if stream is not None:
+                self._stream = stream
+
+    def enabled(self, level: str = "info") -> bool:
+        return LEVELS.get(level, LEVELS["info"]) >= self._threshold
+
+    def emit(
+        self, event: str, level: str = "info", msg: Optional[str] = None, **fields: Any
+    ) -> None:
+        if LEVELS.get(level, LEVELS["info"]) < self._threshold:
+            return
+        now = time.time()
+        if self._json:
+            payload: Dict[str, Any] = {"ts": now, "level": level, "event": event}
+            if msg is not None:
+                payload["msg"] = msg
+            payload.update(fields)
+            try:
+                line = json.dumps(payload, sort_keys=True, default=str)
+            except (TypeError, ValueError):
+                line = json.dumps(
+                    {"ts": now, "level": level, "event": event, "msg": str(msg)},
+                    sort_keys=True,
+                )
+        else:
+            clock = time.strftime("%H:%M:%S", time.localtime(now))
+            parts = [clock, level.upper(), event]
+            if msg is not None:
+                parts.append(msg)
+            parts.extend(f"{key}={fields[key]}" for key in sorted(fields))
+            line = " ".join(parts)
+        with self._lock:
+            stream = self._stream if self._stream is not None else sys.stderr
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                pass  # closed/broken stream must not take down the tuner
+
+
+#: Process-wide event log; quiet (warning+) until an entry point configures it.
+EVENTS = EventLog()
+
+
+def configure(
+    json_mode: Optional[bool] = None,
+    level: Optional[str] = None,
+    stream: Optional[IO[str]] = None,
+) -> None:
+    """Reconfigure the process-wide :data:`EVENTS` log."""
+    EVENTS.configure(json_mode=json_mode, level=level, stream=stream)
+
+
+def emit(
+    event: str, level: str = "info", msg: Optional[str] = None, **fields: Any
+) -> None:
+    """Emit one event on the process-wide log."""
+    EVENTS.emit(event, level=level, msg=msg, **fields)
+
+
+def events_pass_hook(stage: str, artifact: Any, elapsed_s: float) -> None:
+    """A :class:`~repro.compiler.passes.PassManager` hook that narrates each
+    completed compiler stage at debug level."""
+    EVENTS.emit("stage.complete", level="debug", stage=stage, elapsed_s=round(elapsed_s, 6))

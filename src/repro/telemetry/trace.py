@@ -31,8 +31,10 @@ from __future__ import annotations
 
 import contextlib
 import json
+import sys
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -135,6 +137,9 @@ class TraceCollector:
 
     def __init__(self) -> None:
         self.roots: List[Span] = []
+        #: correlation id stamped onto request spans and history records so a
+        #: trace file can be matched to the log/history entries it belongs to
+        self.trace_id: str = uuid.uuid4().hex[:16]
         self._local = threading.local()
         self._lock = threading.Lock()
         #: open spans that adopt orphan (cross-thread) spans, innermost last
@@ -344,12 +349,25 @@ def save_trace(path: Any, roots: Sequence[Any], meta: Optional[Mapping[str, Any]
 
 
 def load_trace(path: Any) -> List[Span]:
-    """Read a trace file: the nested-JSON save format or a JSONL export."""
+    """Read a trace file: the nested-JSON save format or a JSONL export.
+
+    Tolerant of truncation: an empty file is an empty trace, unparseable or
+    incomplete JSONL lines (a crashed writer's torn tail) are skipped with a
+    warning on stderr, and a span whose parent is missing becomes a root —
+    whatever survived the crash still renders.
+    """
+
+    def _warn(lineno: int, why: str) -> None:
+        print(
+            f"warning: {path}: skipping trace line {lineno}: {why}",
+            file=sys.stderr,
+        )
+
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
     stripped = text.strip()
     if not stripped:
-        raise ValueError(f"trace file {path} is empty")
+        return []
     try:
         document = json.loads(stripped)
     except json.JSONDecodeError:
@@ -366,14 +384,22 @@ def load_trace(path: Any) -> List[Span]:
         try:
             record = json.loads(line)
         except json.JSONDecodeError as error:
-            raise ValueError(f"trace line {lineno} is not JSON: {error}") from None
+            _warn(lineno, f"not JSON ({error})")
+            continue
+        if not isinstance(record, Mapping) or "name" not in record:
+            _warn(lineno, "not a span record")
+            continue
         item = Span.from_dict(record)
-        spans[record["id"]] = item
+        if "id" in record:
+            spans[record["id"]] = item
         parent = record.get("parent")
         if parent is None:
             roots.append(item)
-        else:
+        elif parent in spans:
             spans[parent].children.append(item)
+        else:
+            _warn(lineno, f"parent span {parent} missing; treating as root")
+            roots.append(item)
     return roots
 
 

@@ -447,6 +447,165 @@ class TestProcessPool:
             server.stop()
 
 
+# -- tuning history and the fleet dashboard ----------------------------------------
+class TestServiceHistory:
+    def test_thread_server_appends_exactly_one_record_per_job(self, tmp_path):
+        """Thread workers share the server process; the record must still be
+        appended exactly once (by ``_finish``, never by the worker itself)."""
+        from repro.telemetry.history import HistoryStore
+
+        history_path = tmp_path / "history.jsonl"
+        server = TuningServer(
+            port=0, executor="thread", max_workers=2, history=history_path
+        ).start()
+        try:
+            client = TuningClient(server.url)
+            request = matmul_request(m=16)
+            first = client.submit(request)
+            first.result(timeout=300)
+            second = client.submit(request)  # warm: answered at submit time
+            second.result(timeout=60)
+
+            tuned, hit = HistoryStore(history_path).records()
+            assert not tuned.cache_hit and tuned.evaluations > 0
+            assert tuned.source == "worker" and tuned.job_id == first.job_id
+            assert hit.cache_hit and hit.evaluations == 0
+            assert hit.source == "server" and hit.job_id == second.job_id
+            assert hit.group_key() == tuned.group_key()
+
+            payload = client.history_rollup()
+            assert payload["history"]["records"] == 2
+            (row,) = payload["rollup"]
+            assert row["kernel"] == "matmul" and row["cache_hits"] == 1
+        finally:
+            server.stop()
+
+    def test_traced_job_history_record_matches_the_span_tree(self, tmp_path):
+        """Acceptance: the absorbed record's trace id is the id annotated on
+        the job's shipped root span — one correlation key across /status,
+        the event log, and the history store."""
+        from repro.telemetry.history import HistoryStore
+
+        history_path = tmp_path / "history.jsonl"
+        server = TuningServer(
+            port=0, executor="thread", max_workers=2, history=history_path
+        ).start()
+        try:
+            client = TuningClient(server.url)
+            request = matmul_request(
+                m=16,
+                backend="hybrid:model>measure-py:warmup=0,repeat=2?top=4",
+                space=WIDE_SPACE,
+                trace=True,
+            )
+            job = client.submit(request).job(timeout=300)
+            assert job["status"] == "done"
+            (record,) = HistoryStore(history_path).records()
+            assert record.trace_id is not None
+            assert job["trace_id"] == record.trace_id
+            assert job["trace"][0]["attrs"]["trace_id"] == record.trace_id
+            # hybrid backend: measured provenance and a persisted rho
+            assert record.winner_kind == "measured-py"
+            assert record.rho is not None
+        finally:
+            server.stop()
+
+    def test_process_pool_ships_history_across_the_pickle_boundary(self, tmp_path):
+        from repro.telemetry.history import HistoryStore
+
+        history_path = tmp_path / "history.jsonl"
+        server = TuningServer(
+            port=0, executor="process", max_workers=2,
+            cache=tmp_path / "cache.json", history=history_path,
+        ).start()
+        try:
+            client = TuningClient(server.url)
+            pending = client.submit(matmul_request(m=16))
+            pending.result(timeout=300)
+            (record,) = HistoryStore(history_path).records()
+            assert record.source == "worker"
+            assert record.job_id == pending.job_id
+            assert record.evaluations > 0
+        finally:
+            server.stop()
+
+    def test_dashboard_serves_html_with_kernel_names(self, tmp_path):
+        server = TuningServer(
+            port=0, executor="thread", max_workers=2,
+            history=tmp_path / "history.jsonl",
+        ).start()
+        try:
+            client = TuningClient(server.url)
+            client.tune(matmul_request(m=16), timeout=300)
+            html = client.dashboard()
+            assert "<html" in html and "matmul" in html
+            assert "repro tuning fleet" in html
+            assert client.healthz()["history_path"] == str(tmp_path / "history.jsonl")
+        finally:
+            server.stop()
+
+    def test_memory_history_when_no_path_configured(self, thread_server):
+        client = TuningClient(thread_server.url)
+        client.tune(matmul_request(m=16), timeout=300)
+        payload = client.history_rollup()
+        assert payload["history"]["path"] is None
+        assert payload["history"]["records"] >= 1
+
+
+# -- failed jobs (satellite: error outcomes are fully stamped) ---------------------
+class TestFailedJobAccounting:
+    def _outcome_totals(self):
+        from repro.telemetry import METRICS, parse_prometheus_text
+
+        parsed = parse_prometheus_text(METRICS.render())
+        return {
+            dict(labels)["outcome"]: value
+            for labels, value in parsed.get("repro_jobs_total", {}).items()
+        }
+
+    def test_worker_crash_stamps_duration_and_error_metrics(self, monkeypatch):
+        from repro.telemetry import METRICS
+
+        def raiser(*args, **kwargs):
+            raise RuntimeError("worker exploded")
+
+        monkeypatch.setattr("repro.service.server.execute_request", raiser)
+        before_errors = self._outcome_totals().get("error", 0)
+        before_count = METRICS.get("repro_job_seconds").count()
+        service = TuningService(executor="thread", max_workers=1)
+        try:
+            job, _ = service.submit(matmul_request(m=16).to_dict())
+            service.drain()
+            job = service.job(job.id)
+            assert job.status == "error"
+            assert "worker exploded" in job.error
+            # the record is fully stamped: duration, finish time, metrics
+            assert job.duration_s is not None and job.duration_s >= 0.0
+            assert job.finished_at is not None
+            assert job.to_dict()["duration_s"] == job.duration_s
+            assert self._outcome_totals().get("error", 0) == before_errors + 1
+            assert METRICS.get("repro_job_seconds").count() == before_count + 1
+        finally:
+            service.drain()
+
+    def test_unknown_kernel_is_rejected_before_a_job_exists(self):
+        service = TuningService(executor="thread", max_workers=1)
+        try:
+            with pytest.raises(ValueError, match="unknown kernel"):
+                service.submit({"kernel": "no_such_kernel"})
+            assert service.jobs_snapshot() == []
+            assert service.stats()["server"]["submitted"] == 0
+        finally:
+            service.drain()
+
+    def test_unknown_kernel_over_http_is_400_and_leaves_no_job(self, thread_server):
+        client = TuningClient(thread_server.url)
+        with pytest.raises(ServiceError) as error:
+            client.submit({"kernel": "no_such_kernel"})
+        assert error.value.status == 400
+        assert thread_server.service.jobs_snapshot() == []
+
+
 # -- graceful shutdown -------------------------------------------------------------
 class TestSigtermDrain:
     def test_sigterm_drains_inflight_jobs_before_exit(self, tmp_path):

@@ -218,6 +218,76 @@ class TestTracing:
         autotune(program, strategy="hillclimb", space_options=SMALL_SPACE, seed=3)
         assert trace.active_trace() is None
 
+    def test_every_collector_has_a_distinct_trace_id(self):
+        """The correlation id history records and job records carry."""
+        with trace.capture_trace() as first:
+            pass
+        with trace.capture_trace() as second:
+            pass
+        for collector in (first, second):
+            assert len(collector.trace_id) == 16
+            int(collector.trace_id, 16)  # hex
+        assert first.trace_id != second.trace_id
+
+
+# -- tolerant trace loading (satellite: no tracebacks on torn files) ---------------
+class TestTolerantTraceLoading:
+    def _jsonl(self, tmp_path):
+        with trace.capture_trace() as collector:
+            with trace.span("request", kind="request"):
+                trace.record_span("tiling", "pass", 0.1)
+        path = tmp_path / "t.jsonl"
+        path.write_text(to_jsonl(collector.roots))
+        return path, collector
+
+    def test_empty_file_is_an_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_trace(path) == []
+
+    def test_torn_jsonl_tail_is_skipped_with_warning(self, tmp_path, capsys):
+        path, collector = self._jsonl(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"name": "torn", "kind": "pa')  # crashed writer
+        loaded = load_trace(path)
+        assert summarize_spans(loaded) == summarize_spans(collector.roots)
+        assert "skipping trace line 3" in capsys.readouterr().err
+
+    def test_non_span_records_are_skipped(self, tmp_path, capsys):
+        path, collector = self._jsonl(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"no_name": true}\n')
+        assert summarize_spans(load_trace(path)) == summarize_spans(collector.roots)
+        assert "not a span record" in capsys.readouterr().err
+
+    def test_missing_parent_becomes_a_root(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"name": "orphan", "kind": "pass", "duration_s": 0.1, '
+            '"id": 5, "parent": 99}\n'
+        )
+        (orphan,) = load_trace(path)
+        assert orphan.name == "orphan"
+        assert "parent span 99 missing" in capsys.readouterr().err
+
+    def test_trace_cli_survives_truncated_and_empty_files(self, tmp_path, capsys):
+        from repro.autotune.cli import trace_main
+
+        path, _ = self._jsonl(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        assert trace_main([str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "2 spans" in captured.out  # the surviving spans still render
+
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        assert trace_main([str(empty)]) == 0
+        assert "0 spans" in capsys.readouterr().out
+
+        assert trace_main([str(tmp_path / "missing.json")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
 
 # -- the pickle contract (satellite: hook re-attachment) ---------------------------
 class TestHookPickleContract:
@@ -280,6 +350,28 @@ class TestHookPickleContract:
         stage_samples = delta["repro_stage_runs_total"]["samples"]
         assert any("analysis" in key for key in stage_samples)
 
+    def test_worker_ships_its_history_record(self):
+        """The worker's outcome carries one history dict for the server to
+        absorb — stamped with the job id and worker provenance."""
+        payload = TuneRequest(
+            kernel="matmul",
+            sizes={"m": 16, "n": 16, "k": 16},
+            space=SMALL_SPACE_DICT,
+            trace=True,
+        ).to_dict()
+        outcome = execute_request(payload, job_id="job-42")
+        history = outcome["history"]
+        assert history is not None
+        assert history["kernel"] == "matmul"
+        assert history["source"] == "worker"
+        assert history["job_id"] == "job-42"
+        assert history["evaluations"] > 0 and not history["cache_hit"]
+        # the correlation contract: the record's trace id is the one
+        # annotated on the shipped span tree's root
+        roots = outcome["trace"]
+        assert history["trace_id"] == roots[0]["attrs"]["trace_id"]
+        pickle.dumps(outcome)
+
 
 # -- service integration -----------------------------------------------------------
 class TestServiceTelemetry:
@@ -328,6 +420,24 @@ class TestServiceTelemetry:
             for labels, value in parsed["repro_jobs_total"].items()
         }
         assert outcomes.get("tuned", 0) >= 1 and outcomes.get("cached", 0) >= 1
+
+    def test_thread_executor_does_not_absorb_its_own_delta(self, server):
+        """Thread workers bump the server's registry directly; absorbing the
+        delta they ship would double-count every sample.  One cold job must
+        move ``repro_tuning_requests_total`` by exactly 1."""
+        counter = METRICS.get("repro_tuning_requests_total")
+        before = counter.value(source="tuned")
+        client = TuningClient(server.url)
+        request = TuneRequest(
+            kernel="matmul",
+            sizes={"m": 24, "n": 24, "k": 24},
+            space=SMALL_SPACE_DICT,
+            seed=13,
+        )
+        job = client.submit(request).job(timeout=300)
+        assert job["status"] == "done" and not job["from_cache"]
+        # the worker still *ships* a delta (the payload is executor-agnostic)
+        assert counter.value(source="tuned") == before + 1
 
     def test_untraced_job_has_no_trace_payload(self, server):
         client = TuningClient(server.url)
