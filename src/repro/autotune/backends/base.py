@@ -29,6 +29,8 @@ lazy there.
 
 from __future__ import annotations
 
+import dataclasses
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
@@ -43,6 +45,19 @@ MEASUREMENTS_TOTAL = METRICS.counter(
     "candidate costings per measurement kind",
     labels=("kind",),
 )
+
+MEASURE_MEMO_TOTAL = METRICS.counter(
+    "repro_measure_memo_total",
+    "per-request measurement-memo lookups by outcome",
+    labels=("outcome",),
+)
+
+#: serializes the *timed* section of concurrent wall-clock measurements:
+#: warmups may overlap freely, but two timed runs racing for the cores would
+#: skew each other's numbers, so every backend that reports wall time takes
+#: this lock around its timing loop (process-wide — parallel measurement
+#: therefore requires a thread pool, which the autotuner enforces)
+TIMED_SECTION_LOCK = threading.Lock()
 
 
 class BackendUnavailable(RuntimeError):
@@ -114,6 +129,8 @@ class EvaluationBackend:
         self._spec: Optional[GPUSpec] = None
         self._seed: int = 0
         self._reuse_analysis: bool = True
+        self._memo: Optional[Dict[Any, Measurement]] = None
+        self._memo_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------------
     def prepare(
@@ -132,6 +149,11 @@ class EvaluationBackend:
         self._spec = spec
         self._seed = seed
         self._reuse_analysis = reuse_analysis
+        # fresh memo per request: identical configs within one request (e.g.
+        # the hybrid's finalize re-measuring a top-K member it already timed)
+        # reuse the first measurement instead of paying another run
+        self._memo = {}
+        self._memo_lock = threading.Lock()
 
     @property
     def prepared(self) -> bool:
@@ -162,9 +184,20 @@ class EvaluationBackend:
         Instrumented: each leaf measurement opens a ``measure`` span carrying
         provenance (kind, timing knobs, and — annotated by ``measure-c:`` —
         compile time) and bumps ``repro_measurements_total{kind=}``.
+
+        Memoized: within one request (one :meth:`prepare`), a configuration
+        already measured returns a copy of its first measurement —
+        ``repro_measure_memo_total{outcome=hit}`` counts the runs saved.
         """
         if not self._instrument_measure:
             return self._checked_measure(configuration)
+        memo_key = self._memo_key(configuration)
+        if memo_key is not None:
+            with self._memo_lock:
+                cached = self._memo.get(memo_key)
+            if cached is not None:
+                MEASURE_MEMO_TOTAL.inc(outcome="hit")
+                return dataclasses.replace(cached, metadata=dict(cached.metadata))
         with trace.span("measure", kind="measure", backend=self.scheme) as item:
             measurement = self._checked_measure(configuration)
             item.annotate(
@@ -173,16 +206,35 @@ class EvaluationBackend:
                 feasible=measurement.feasible,
                 **self._timing_provenance(),
             )
+        if memo_key is not None:
+            MEASURE_MEMO_TOTAL.inc(outcome="miss")
+            with self._memo_lock:
+                self._memo[memo_key] = dataclasses.replace(
+                    measurement, metadata=dict(measurement.metadata)
+                )
         MEASUREMENTS_TOTAL.inc(kind=measurement.kind)
         if EVENTS.enabled("debug"):
+            detail: Dict[str, Any] = {}
+            if measurement.error:
+                detail["error"] = measurement.error
             EVENTS.emit(
                 "candidate.measure",
                 level="debug",
                 kind=measurement.kind,
                 time_ms=round(measurement.time_ms, 4),
                 feasible=measurement.feasible,
+                **detail,
             )
         return measurement
+
+    def _memo_key(self, configuration: Any) -> Optional[Any]:
+        """A hashable identity for the memo, or ``None`` to bypass it."""
+        if self._memo is None:
+            return None
+        key = getattr(configuration, "key", None)
+        if callable(key):
+            return key()
+        return configuration if isinstance(configuration, (str, tuple)) else None
 
     def _checked_measure(self, configuration: Any) -> Measurement:
         try:
@@ -200,6 +252,17 @@ class EvaluationBackend:
 
     def _measure(self, configuration: Any) -> Measurement:
         raise NotImplementedError
+
+    @property
+    def measurement_workers(self) -> int:
+        """How many candidates this backend can measure concurrently.
+
+        Wall-clock backends default to 1 (timed runs contend for the cores);
+        a backend that serializes its *timed* section under
+        :data:`TIMED_SECTION_LOCK` may report more, and the autotuner then
+        runs that many measurement threads with only warmups overlapping.
+        """
+        return 1
 
     # -- batch hooks (the hybrid backend's seam) ----------------------------------
     def finalize(
@@ -264,10 +327,15 @@ class EvaluationBackend:
         for name in self._TRANSIENT:
             if name in state:
                 state[name] = None
+        # locks don't pickle, and a worker's memo starts empty (its hits
+        # would be copies of measurements the parent already has)
+        state["_memo_lock"] = None
+        state["_memo"] = {} if state.get("_memo") is not None else None
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
+        self._memo_lock = threading.Lock()
 
 
 # -- URI grammar ---------------------------------------------------------------------

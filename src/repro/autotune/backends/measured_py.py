@@ -2,7 +2,7 @@
 
 The paper's tuning loop *runs* every shortlisted mapping and keeps the
 fastest measured one.  This backend reproduces that method: each candidate
-replays through a derived session whose pass list ends in the ``lower-py``
+replays through a derived session whose pass list ends in a lowering
 terminal pass (so the executable-Python source is a real, fingerprinted,
 ``STAGE_COUNTER``-visible stage artifact), the source is compiled with
 ``exec``, and the kernel is run on seeded inputs with ``warmup`` unrecorded
@@ -10,6 +10,21 @@ executions followed by ``repeat`` timed ones.  The reported time is the
 outlier-trimmed median of the timed runs — wall-clock measurement on a
 multi-tenant host is noisy, and a trimmed median is robust against the odd
 scheduler hiccup without hiding systematic cost.
+
+Two fast-path knobs (URI options):
+
+* ``vectorize=auto|on|off`` (default ``auto``) picks the ``lower-py-vec``
+  terminal pass — eligible innermost loops lowered to numpy expressions, the
+  same results several times faster — falling back to scalar ``lower-py``
+  only on ``off``.  ``vectorize`` fingerprints: scalar and vectorised wall
+  times are different distributions and must never share a cache entry.
+* ``workers=N`` (default 1) advertises that ``N`` candidates may be measured
+  concurrently: warmup runs overlap freely across threads while every
+  *timed* section serializes under :data:`~repro.autotune.backends.base.
+  TIMED_SECTION_LOCK`, so replay + exec + warmup (the bulk of a candidate's
+  cost) parallelise without timed runs contending for the cores.  ``workers``
+  does **not** fingerprint — serialized timed sections keep the measured
+  numbers the same.
 
 Measured milliseconds are Python-interpreter wall time, **not** modelled GPU
 time: comparable against other measured results, meaningless against
@@ -29,12 +44,16 @@ from repro.compiler import CompilationSession
 from repro.machine.spec import GPUSpec
 
 from repro.autotune.backends.base import (
+    TIMED_SECTION_LOCK,
     EvaluationBackend,
     Measurement,
     parse_timing_options,
     register_backend,
     validate_timing_knobs,
 )
+
+#: accepted values of the ``vectorize=`` URI option
+VECTORIZE_CHOICES = ("auto", "on", "off")
 
 
 def trimmed_median(samples: List[float], trim: float) -> float:
@@ -58,17 +77,51 @@ class MeasuredPythonBackend(EvaluationBackend):
     deterministic = False
     measures_wall_clock = True
 
-    def __init__(self, warmup: int = 1, repeat: int = 5, trim: float = 0.2) -> None:
+    def __init__(
+        self,
+        warmup: int = 1,
+        repeat: int = 5,
+        trim: float = 0.2,
+        workers: int = 1,
+        vectorize: str = "auto",
+    ) -> None:
         super().__init__()
         validate_timing_knobs(warmup, repeat, trim)
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if vectorize not in VECTORIZE_CHOICES:
+            raise ValueError(
+                f"vectorize must be one of {', '.join(VECTORIZE_CHOICES)}, "
+                f"got {vectorize!r}"
+            )
         self.warmup = warmup
         self.repeat = repeat
         self.trim = trim
+        self.workers = workers
+        self.vectorize = vectorize
         self._lowering_session: Optional[CompilationSession] = None
 
     @classmethod
     def from_options(cls, options: Mapping[str, str]) -> "MeasuredPythonBackend":
-        return cls(**parse_timing_options(cls.scheme, options))
+        timing = parse_timing_options(
+            cls.scheme, options, extra=("workers", "vectorize")
+        )
+        try:
+            workers = int(options.get("workers", 1))
+        except ValueError as error:
+            raise ValueError(f"backend {cls.scheme!r}: {error}") from None
+        return cls(
+            workers=workers, vectorize=options.get("vectorize", "auto"), **timing
+        )
+
+    @property
+    def _stage(self) -> str:
+        """The lowering terminal pass this request measures."""
+        return "lower-py" if self.vectorize == "off" else "lower-py-vec"
+
+    @property
+    def measurement_workers(self) -> int:
+        return self.workers
 
     # -- lifecycle ---------------------------------------------------------------
     def prepare(
@@ -79,14 +132,14 @@ class MeasuredPythonBackend(EvaluationBackend):
         reuse_analysis: bool = True,
     ) -> None:
         super().prepare(session, spec, seed=seed, reuse_analysis=reuse_analysis)
-        # A derived session appends the lower-py terminal pass while adopting
+        # A derived session appends the lowering terminal pass while adopting
         # the shared session's frozen artifacts — affine analysis still runs
         # once per request, however many candidates get measured.
-        if "lower-py" in session.stage_names:
+        if self._stage in session.stage_names:
             self._lowering_session = session
         else:
             self._lowering_session = session.with_passes(
-                (*session.stage_names, "lower-py")
+                (*session.stage_names, self._stage)
             )
 
     # -- measurement -------------------------------------------------------------
@@ -106,29 +159,35 @@ class MeasuredPythonBackend(EvaluationBackend):
         session = self._lowering_session
         if session is None:
             raise RuntimeError("backend was not prepared")
+        stage = self._stage
         # Only the replay sits in measure()'s ValueError→infeasible net: a
         # ValueError *here* is the compiler refusing the mapping.  Failures
         # past this point are codegen/runtime infrastructure bugs and must
         # surface loudly, never masquerade as an "infeasible" candidate.
-        artifacts = session.replay_artifacts(config=configuration, upto="lower-py")
-        source = artifacts["lower-py"].value
+        artifacts = session.replay_artifacts(config=configuration, upto=stage)
+        source = artifacts[stage].value
         mapped = artifacts["mapping"].value
 
         try:
             namespace: Dict[str, Any] = {}
-            exec(compile(source, f"<lower-py:{mapped.program.name}>", "exec"), namespace)
+            exec(compile(source, f"<{stage}:{mapped.program.name}>", "exec"), namespace)
             kernel = namespace["kernel"]
             pristine = self._seeded_arrays(mapped.program)
             params = dict(mapped.param_binding)
 
-            times_ms: List[float] = []
-            for run in range(self.warmup + self.repeat):
+            # warmups overlap freely across measurement threads; only the
+            # timed loop serializes, so concurrent candidates never distort
+            # each other's recorded numbers
+            for _ in range(self.warmup):
                 arrays = {name: value.copy() for name, value in pristine.items()}
-                started = time.perf_counter()
                 kernel(arrays, params)
-                elapsed_ms = 1e3 * (time.perf_counter() - started)
-                if run >= self.warmup:
-                    times_ms.append(elapsed_ms)
+            times_ms: List[float] = []
+            with TIMED_SECTION_LOCK:
+                for _ in range(self.repeat):
+                    arrays = {name: value.copy() for name, value in pristine.items()}
+                    started = time.perf_counter()
+                    kernel(arrays, params)
+                    times_ms.append(1e3 * (time.perf_counter() - started))
         except ValueError as error:
             raise RuntimeError(
                 f"emitted Python kernel for {mapped.program.name!r} failed at "
@@ -145,23 +204,33 @@ class MeasuredPythonBackend(EvaluationBackend):
             "trim": self.trim,
             "times_ms": times_ms,
             "source_lines": len(source.splitlines()),
+            "lowering": stage,
         }
         return Measurement(time_ms=time_ms, kind=self.kind, metadata=metadata)
 
     # -- identity ----------------------------------------------------------------
     def signature(self) -> Dict[str, Any]:
+        # workers is absent by design: timed sections serialize, so the
+        # numbers do not depend on it.  vectorize is present: scalar and
+        # vectorised artifacts time differently.
         return {
             "scheme": self.scheme,
             "warmup": self.warmup,
             "repeat": self.repeat,
             "trim": self.trim,
+            "vectorize": self.vectorize,
         }
 
     def uri(self) -> str:
-        return f"{self.scheme}:warmup={self.warmup},repeat={self.repeat},trim={self.trim}"
+        options = [f"warmup={self.warmup}", f"repeat={self.repeat}", f"trim={self.trim}"]
+        if self.vectorize != "auto":
+            options.append(f"vectorize={self.vectorize}")
+        if self.workers != 1:
+            options.append(f"workers={self.workers}")
+        return f"{self.scheme}:{','.join(options)}"
 
     def describe(self) -> str:
         return (
-            "execute the lower-py stage artifact on seeded inputs "
+            f"execute the {self._stage} stage artifact on seeded inputs "
             f"(warmup={self.warmup}, repeat={self.repeat}, trimmed median)"
         )

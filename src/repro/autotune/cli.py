@@ -173,6 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one HistoryRecord for this request to a JSONL history "
         "file (inspect with 'python -m repro.autotune history list STORE')",
     )
+    parser.add_argument(
+        "--reuse-artifacts",
+        action="store_true",
+        help="share config-invariant compiler artifacts (affine analysis) "
+        "with other requests in this process for the same program, binding "
+        "and spec",
+    )
     return parser
 
 
@@ -622,6 +629,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         check_program=kernel.build_check() if args.check else None,
                         backend=args.backend,
                         history=args.history,
+                        artifact_cache=True if args.reuse_artifacts else None,
                     )
                 except BackendUnavailable as error:
                     print(f"error: {error}", file=sys.stderr)

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.compiler import CompilationSession
+from repro.compiler import GLOBAL_ARTIFACT_CACHE, ArtifactCache, CompilationSession
 from repro.telemetry import trace
 from repro.telemetry.events import EVENTS, events_pass_hook
 from repro.telemetry.history import HistoryRecord, HistoryStore, open_history, spearman_rho
@@ -46,6 +46,10 @@ TUNING_REQUESTS_TOTAL = METRICS.counter(
 )
 REQUEST_SECONDS = METRICS.histogram(
     "repro_request_seconds", "end-to-end autotune() wall time in seconds"
+)
+MEASURE_PARALLELISM = METRICS.gauge(
+    "repro_measure_parallelism",
+    "concurrent measurement workers of the most recent wall-clock request",
 )
 
 
@@ -144,6 +148,7 @@ def _prepare_request(
     check_correctness: bool,
     check_program: Optional[Program],
     backend: Union[str, EvaluationBackend, None] = None,
+    artifact_cache: Optional[ArtifactCache] = None,
 ):
     """Resolve one tuning request into (options, strategy, space, fingerprint).
 
@@ -174,6 +179,12 @@ def _prepare_request(
     if EVENTS.enabled("debug"):
         # debug-level log narration of every compiler stage (stage.complete)
         compile_session.manager.add_hook(events_pass_hook)
+    if artifact_cache is not None:
+        # must precede the space construction below: it triggers the analysis
+        # pass, and adoption after the fact would install nothing.  The cache
+        # never enters the request fingerprint — where an artifact came from
+        # cannot change what the request computes.
+        artifact_cache.adopt(compile_session)
     space = ConfigurationSpace(
         program,
         spec=spec,
@@ -255,6 +266,7 @@ def autotune(
     check_program: Optional[Program] = None,
     backend: Union[str, EvaluationBackend, None] = None,
     history: Union[HistoryStore, str, Path, None] = None,
+    artifact_cache: Union[ArtifactCache, bool, None] = None,
 ) -> TuningReport:
     """Empirically tune the mapping of ``program`` on ``spec``.
 
@@ -298,6 +310,13 @@ def autotune(
         The record is also attached to the returned report as
         ``report.history_record`` (even when no store is given), which is
         how the tuning service ships it back from worker processes.
+    artifact_cache:
+        Opt-in cross-request sharing of config-invariant artifacts: ``True``
+        selects the process-wide :data:`~repro.compiler.
+        GLOBAL_ARTIFACT_CACHE`, or pass an :class:`~repro.compiler.
+        ArtifactCache` instance.  A second request for the same (program,
+        binding, spec) then runs affine analysis **zero** times.  Never part
+        of the request fingerprint.
     """
     if max_workers <= 0:
         raise ValueError("max_workers must be positive")
@@ -305,6 +324,10 @@ def autotune(
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
     if cache is not None and not isinstance(cache, TuningCache):
         cache = TuningCache(cache)
+    if artifact_cache is True:
+        artifact_cache = GLOBAL_ARTIFACT_CACHE
+    elif artifact_cache is False:
+        artifact_cache = None
     history = open_history(history)
     started = time.perf_counter()
     # fallback=True: candidate spans opened on evaluator pool threads adopt
@@ -315,7 +338,13 @@ def autotune(
         options, strategy, space, key, compile_session, backend = _prepare_request(
             program, spec, param_values, options, strategy, seed,
             space_options, check_correctness, check_program, backend,
+            artifact_cache=artifact_cache,
         )
+        if artifact_cache is not None:
+            # the space construction just froze (or adopted) the analysis
+            # artifact — publish it so the *next* request with this identity
+            # runs analysis zero times (warm tuning-cache hits included)
+            artifact_cache.publish(compile_session)
         request_span.annotate(
             strategy=strategy.name, backend=backend.uri(), fingerprint=key[:16]
         )
@@ -353,17 +382,29 @@ def autotune(
         if max_workers > 1 and backend.measures_wall_clock:
             # K concurrent timed runs contend for the same cores and inflate
             # each other's perf_counter windows — the times the search trusts
-            # would be run-order noise.  (A hybrid with a model primary keeps
-            # its parallel search; its measured re-rank is serial by design.
-            # After the cache check: a warm hit evaluates nothing to serialize.)
-            warnings.warn(
-                f"backend {backend.uri()!r} times real executions; serializing "
-                f"evaluation (max_workers {max_workers} -> 1) so concurrent "
-                "candidates cannot skew each other's measurements",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            max_workers = 1
+            # would be run-order noise.  A backend that serializes its timed
+            # section under TIMED_SECTION_LOCK advertises measurement_workers
+            # > 1: replay/exec/warmup then overlap on threads (the lock is
+            # per-process, so a process pool would not serialize anything)
+            # while recorded numbers stay contention-free.  (A hybrid with a
+            # model primary keeps its parallel search; its measured re-rank
+            # delegates to the leaf.  After the cache check: a warm hit
+            # evaluates nothing to serialize.)
+            backend_workers = getattr(backend, "measurement_workers", 1)
+            if backend_workers > 1:
+                max_workers = min(max_workers, backend_workers)
+                executor = "thread"
+            else:
+                warnings.warn(
+                    f"backend {backend.uri()!r} times real executions; serializing "
+                    f"evaluation (max_workers {max_workers} -> 1) so concurrent "
+                    "candidates cannot skew each other's measurements",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                max_workers = 1
+        if backend.measures_wall_clock:
+            MEASURE_PARALLELISM.set(max_workers)
 
         evaluator = ConfigurationEvaluator(
             program,

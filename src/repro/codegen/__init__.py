@@ -13,7 +13,12 @@ from repro.codegen.union_scan import scan_union
 from repro.codegen.emit_c import emit_c
 from repro.codegen.emit_c_exec import emit_c_harness
 from repro.codegen.emit_py import compile_to_python, emit_python_source
+from repro.codegen.emit_py_vec import emit_python_source_vectorized
 from repro.codegen.toolchain import c_toolchain_skip_reason, find_c_compiler
+
+# last: pulls in repro.autotune.store (the _locked idiom), which transitively
+# imports this package's submodules — everything it needs is defined above
+from repro.codegen.compile_cache import CompileCache, open_compile_cache
 
 __all__ = [
     "scan_polyhedron",
@@ -24,5 +29,8 @@ __all__ = [
     "emit_c_harness",
     "compile_to_python",
     "emit_python_source",
+    "emit_python_source_vectorized",
     "find_c_compiler",
+    "CompileCache",
+    "open_compile_cache",
 ]

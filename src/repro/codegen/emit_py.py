@@ -12,7 +12,7 @@ names to ints; it mutates the arrays in place, exactly like the interpreter.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Dict, List, Mapping, Optional, Set
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.ir.ast import (
     BlockNode,
@@ -170,11 +170,20 @@ class _Emitter:
             self.emit(f"{lhs} = {rhs}", depth)
 
 
-def emit_python_source(
-    program: Program, func_name: str = "kernel", check_domains: bool = True
+def render_module(
+    emitter: "_Emitter",
+    program: Program,
+    func_name: str,
+    prelude: Sequence[str] = (),
 ) -> str:
-    """Emit the program as Python source defining ``func_name(arrays, params)``."""
-    emitter = _Emitter(program, check_domains)
+    """Drive ``emitter`` over ``program`` into a complete module source.
+
+    Shared by the scalar and the vectorised emitters so the module shape
+    (helpers, parameter/array unpacking, symbol scoping) cannot drift apart;
+    ``prelude`` prepends extra imports (the vectorised path's numpy).
+    """
+    for line in prelude:
+        emitter.emit(line, 0)
     emitter.emit("from fractions import Fraction", 0)
     emitter.emit("", 0)
     emitter.emit("def _idx(value):", 0)
@@ -202,6 +211,13 @@ def emit_python_source(
     else:
         emitter.emit_node(program.body, 1, bound)
     return "\n".join(emitter.lines) + "\n"
+
+
+def emit_python_source(
+    program: Program, func_name: str = "kernel", check_domains: bool = True
+) -> str:
+    """Emit the program as Python source defining ``func_name(arrays, params)``."""
+    return render_module(_Emitter(program, check_domains), program, func_name)
 
 
 def compile_to_python(

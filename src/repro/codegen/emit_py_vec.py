@@ -1,0 +1,312 @@
+"""Vectorised (numpy-backed) emission of executable Python.
+
+:func:`repro.codegen.emit_py.emit_python_source` lowers a mapped program to
+scalar nested loops — semantically exact, but every innermost iteration pays
+Python interpreter dispatch per array access, which dominates the wall time
+the ``measure-py:`` backend exists to measure.  This emitter keeps the scalar
+structure for the outer nest and rewrites each eligible **innermost** loop as
+one numpy expression:
+
+* the iterator becomes ``i = _np.arange(lo, hi + 1, step)``,
+* guard/domain constraints that mention the iterator become a boolean mask
+  (``i = i[(...) >= 0]``), the rest stay a scalar ``if``,
+* an elementwise statement (some lhs index mentions the iterator — affine
+  with a nonzero integer coefficient, hence injective) becomes one
+  fancy-indexed assignment,
+* a reduction whose lhs does *not* mention the iterator becomes
+  ``lhs += _np.sum(vectorised rhs)`` (``prod``/``min``/``max`` likewise).
+
+Eligibility is conservative — a loop is vectorised only when the rewrite is
+provably equivalent to the sequential loop:
+
+* the loop body (unwrapping blocks and guards, ignoring sync points) is
+  exactly one statement, and no derived symbol definition depends on the
+  iterator;
+* every affine form that mentions the iterator (array indices, constraints,
+  affine values) has integer coefficients, so integer numpy arithmetic
+  matches the scalar path's exact ``Fraction``-then-truncate semantics;
+* the rhs contains no calls, and never reads the lhs array except at the
+  lhs's own indices (elementwise case) — anything resembling a loop-carried
+  dependence falls back to the scalar loop.
+
+Everything ineligible — and, when numpy is not importable at emit time, the
+whole program — falls back to the scalar emitter, so ``measure-py:`` keeps
+working on minimal hosts (just slower).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.ir.ast import (
+    BlockNode,
+    GuardNode,
+    LoopNode,
+    Node,
+    StatementNode,
+    SyncNode,
+)
+from repro.ir.expressions import AffineValue, BinOp, Call, Const, Expr, Iter, Load
+from repro.ir.program import Program
+from repro.polyhedral.affine import AffineExpr
+from repro.polyhedral.constraints import Constraint
+from repro.polyhedral.parametric import QuasiAffineBound
+
+from repro.codegen.emit_py import (
+    _affine_to_py,
+    _bound_to_py,
+    _Emitter,
+    _load_to_py,
+    emit_python_source,
+    render_module,
+)
+
+#: numpy reducers per reduction operator (Case B: scalar lhs)
+_REDUCERS = {"+": "sum", "*": "prod", "min": "min", "max": "max"}
+
+#: numpy elementwise combine per min/max reduction (Case A: vector lhs)
+_ELEMENTWISE = {"min": "_np.minimum", "max": "_np.maximum"}
+
+
+def _is_integral(expr: AffineExpr) -> bool:
+    """Whether every coefficient and the constant are whole numbers."""
+    if Fraction(expr.constant).denominator != 1:
+        return False
+    return all(
+        Fraction(coeff).denominator == 1 for coeff in expr.coefficients.values()
+    )
+
+
+def _subexprs(expr: Expr) -> Iterator[Expr]:
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from _subexprs(expr.lhs)
+        yield from _subexprs(expr.rhs)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from _subexprs(arg)
+
+
+def _mentions(expr: Expr, iterator: str) -> bool:
+    for item in _subexprs(expr):
+        if isinstance(item, Iter) and item.name == iterator:
+            return True
+        if isinstance(item, AffineValue) and iterator in item.expr.variables:
+            return True
+        if isinstance(item, Load) and any(
+            iterator in index.variables for index in item.indices
+        ):
+            return True
+    return False
+
+
+def _unwrap_single_statement(
+    node: Node,
+) -> Optional[Tuple[StatementNode, List[Constraint]]]:
+    """The loop body as (one statement, accumulated guards), or ``None``."""
+    guards: List[Constraint] = []
+    current = node
+    while True:
+        if isinstance(current, BlockNode):
+            real = [c for c in current.body if not isinstance(c, SyncNode)]
+            if len(real) != 1:
+                return None
+            current = real[0]
+        elif isinstance(current, GuardNode):
+            guards.extend(current.constraints)
+            current = current.body
+        elif isinstance(current, StatementNode):
+            return current, guards
+        else:
+            return None
+
+
+class _VectorPlan:
+    """One proven-safe innermost-loop rewrite, ready to emit."""
+
+    def __init__(
+        self,
+        statement_node: StatementNode,
+        scalar_constraints: List[Constraint],
+        vector_constraints: List[Constraint],
+        elementwise: bool,
+    ) -> None:
+        self.statement_node = statement_node
+        self.scalar_constraints = scalar_constraints
+        self.vector_constraints = vector_constraints
+        self.elementwise = elementwise
+
+
+class _VecEmitter(_Emitter):
+    """The scalar emitter, with eligible innermost loops lowered to numpy."""
+
+    def emit_node(self, node: Node, depth: int, bound: Set[str]) -> None:
+        if isinstance(node, LoopNode):
+            plan = self._vector_plan(node)
+            if plan is not None:
+                self._emit_vector_loop(node, plan, depth)
+                return
+        super().emit_node(node, depth, bound)
+
+    # -- eligibility ---------------------------------------------------------------
+    def _vector_plan(self, node: LoopNode) -> Optional[_VectorPlan]:
+        iterator = node.iterator
+        unwrapped = _unwrap_single_statement(node.body)
+        if unwrapped is None:
+            return None
+        statement_node, guards = unwrapped
+        statement = statement_node.statement
+
+        # a derived symbol depending on the iterator would need per-element
+        # values — the scalar loop defines it per iteration, so bail
+        emitted = set().union(*self._emitted_symbols)
+        for name, definition in self.symbol_definitions.items():
+            if name in emitted:
+                continue
+            if isinstance(definition, QuasiAffineBound):
+                free = {v for e in definition.exprs for v in e.variables}
+            elif isinstance(definition, AffineExpr):
+                free = set(definition.variables)
+            else:
+                return None
+            if iterator in free:
+                return None
+
+        constraints = list(guards)
+        if self.check_domains:
+            constraints.extend(statement.domain.constraints)
+        scalar_constraints: List[Constraint] = []
+        vector_constraints: List[Constraint] = []
+        for constraint in constraints:
+            if iterator in constraint.expr.variables:
+                if not _is_integral(constraint.expr):
+                    return None
+                vector_constraints.append(constraint)
+            else:
+                scalar_constraints.append(constraint)
+
+        # every iterator-involving affine must be exact in int arithmetic
+        loads = [statement.lhs, *statement.rhs.loads()]
+        for load in loads:
+            for index in load.indices:
+                if iterator in index.variables and not _is_integral(index):
+                    return None
+        for item in _subexprs(statement.rhs):
+            if isinstance(item, Call):
+                return None  # min/max/abs on arrays need mapping; stay scalar
+            if isinstance(item, AffineValue) and iterator in item.expr.variables:
+                if not _is_integral(item.expr):
+                    return None
+
+        lhs = statement.lhs
+        elementwise = any(iterator in index.variables for index in lhs.indices)
+        lhs_rendered = tuple(_affine_to_py(index) for index in lhs.indices)
+        if elementwise:
+            # injective in the iterator (affine, nonzero integer coefficient),
+            # so duplicate-index accumulation loss cannot occur; reading the
+            # lhs array is only safe at exactly the written elements
+            for load in statement.rhs.loads():
+                if load.array.name == lhs.array.name:
+                    if tuple(_affine_to_py(i) for i in load.indices) != lhs_rendered:
+                        return None
+        else:
+            if statement.reduction not in _REDUCERS:
+                return None  # plain overwrite in a reduced dim: order-dependent
+            if not _mentions(statement.rhs, iterator):
+                return None  # rhs would collapse to a scalar; keep the loop
+            if any(
+                load.array.name == lhs.array.name for load in statement.rhs.loads()
+            ):
+                return None
+        return _VectorPlan(statement_node, scalar_constraints, vector_constraints, elementwise)
+
+    # -- emission ------------------------------------------------------------------
+    def _vec_load(self, load: Load, iterator: str) -> str:
+        parts = []
+        for index in load.indices:
+            if iterator in index.variables:
+                # integral (validated), so no _idx truncation is needed and
+                # the expression broadcasts over the iterator array
+                parts.append(f"({_affine_to_py(index)})")
+            else:
+                parts.append(f"_idx({_affine_to_py(index)})")
+        return f"{load.array.name}[{', '.join(parts)}]"
+
+    def _vec_expr(self, expr: Expr, iterator: str) -> str:
+        if isinstance(expr, Const):
+            return repr(float(expr.value))
+        if isinstance(expr, Iter):
+            return expr.name
+        if isinstance(expr, AffineValue):
+            return f"({_affine_to_py(expr.expr)})"
+        if isinstance(expr, Load):
+            return self._vec_load(expr, iterator)
+        if isinstance(expr, BinOp):
+            lhs = self._vec_expr(expr.lhs, iterator)
+            rhs = self._vec_expr(expr.rhs, iterator)
+            return f"({lhs} {expr.op} {rhs})"
+        raise TypeError(f"cannot vectorise expression of type {type(expr).__name__}")
+
+    def _emit_vector_loop(self, node: LoopNode, plan: _VectorPlan, depth: int) -> None:
+        iterator = node.iterator
+        low = _bound_to_py(node.lower, is_lower=True)
+        high = _bound_to_py(node.upper, is_lower=False)
+        self.emit(f"{iterator} = _np.arange({low}, ({high}) + 1, {node.step})", depth)
+        if plan.scalar_constraints:
+            conditions = [
+                f"({_affine_to_py(c.expr)}) {'==' if c.is_equality else '>='} 0"
+                for c in plan.scalar_constraints
+            ]
+            self.emit(f"if {' and '.join(conditions)}:", depth)
+            depth += 1
+        if plan.vector_constraints:
+            mask = " & ".join(
+                f"(({_affine_to_py(c.expr)}) {'==' if c.is_equality else '>='} 0)"
+                for c in plan.vector_constraints
+            )
+            self.emit(f"{iterator} = {iterator}[{mask}]", depth)
+        self.emit(f"if {iterator}.size:", depth)
+        depth += 1
+
+        statement = plan.statement_node.statement
+        rhs = self._vec_expr(statement.rhs, iterator)
+        if plan.elementwise:
+            lhs = self._vec_load(statement.lhs, iterator)
+            if statement.reduction in ("+", "*"):
+                self.emit(f"{lhs} {statement.reduction}= {rhs}", depth)
+            elif statement.reduction in _ELEMENTWISE:
+                combine = _ELEMENTWISE[statement.reduction]
+                self.emit(f"{lhs} = {combine}({lhs}, {rhs})", depth)
+            else:
+                self.emit(f"{lhs} = {rhs}", depth)
+        else:
+            lhs = _load_to_py(statement.lhs)
+            reducer = _REDUCERS[statement.reduction]
+            reduced = f"float(_np.{reducer}({rhs}))"
+            if statement.reduction in ("+", "*"):
+                operator = "+" if statement.reduction == "+" else "*"
+                self.emit(f"{lhs} {operator}= {reduced}", depth)
+            else:
+                self.emit(f"{lhs} = {statement.reduction}({lhs}, {reduced})", depth)
+
+
+def emit_python_source_vectorized(
+    program: Program, func_name: str = "kernel", check_domains: bool = True
+) -> str:
+    """Emit ``program`` with eligible innermost loops lowered to numpy.
+
+    Behaviourally identical to :func:`~repro.codegen.emit_py.
+    emit_python_source` (same ``func_name(arrays, params)`` contract, same
+    in-place mutation) — only faster where vectorisation proved safe.  When
+    numpy is not importable at emit time the scalar source is returned
+    verbatim, so the artifact always runs.
+    """
+    try:
+        import numpy  # noqa: F401 — presence probe only
+    except ImportError:
+        return emit_python_source(program, func_name, check_domains)
+    emitter = _VecEmitter(program, check_domains)
+    return render_module(
+        emitter, program, func_name, prelude=("import numpy as _np",)
+    )

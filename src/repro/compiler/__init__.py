@@ -31,6 +31,10 @@ Quickstart::
     print(session.stage_report())           # per-stage timings + fingerprints
 """
 
+from repro.compiler.artifact_cache import (
+    GLOBAL_ARTIFACT_CACHE,
+    ArtifactCache,
+)
 from repro.compiler.artifacts import (
     AnalysisArtifact,
     MappedKernel,
@@ -57,6 +61,7 @@ from repro.compiler.passes import (
     AnalysisPass,
     EmitCPass,
     LowerPyPass,
+    LowerPyVecPass,
     MappingPass,
     Pass,
     PassContext,
@@ -72,13 +77,16 @@ from repro.compiler.session import CompilationSession
 __all__ = [
     "AnalysisArtifact",
     "AnalysisPass",
+    "ArtifactCache",
     "COMPILE_COUNTER",
     "CompilationSession",
     "CompileCount",
     "CompileCounter",
     "DEFAULT_PASSES",
     "EmitCPass",
+    "GLOBAL_ARTIFACT_CACHE",
     "LowerPyPass",
+    "LowerPyVecPass",
     "MappedKernel",
     "MappingPass",
     "PASS_REGISTRY",

@@ -1,0 +1,105 @@
+"""A cross-request cache of config-invariant stage artifacts.
+
+Within one tuning request, :class:`~repro.compiler.session.
+CompilationSession` already guarantees affine analysis runs once however many
+candidates replay.  *Across* requests there was no sharing: a service worker
+fielding ten requests for the same (program, binding, spec) re-analysed ten
+times.  This cache closes that gap — an LRU map from
+:attr:`~repro.compiler.session.CompilationSession.base_fingerprint` to the
+session's config-invariant artifacts:
+
+* :meth:`ArtifactCache.adopt` — seed a fresh session from the cache (before
+  anything triggers analysis), via the session's *validated*
+  :meth:`~repro.compiler.session.CompilationSession.install_artifacts`;
+* :meth:`ArtifactCache.publish` — harvest what a session ended up freezing.
+
+Sharing is opt-in (``autotune(artifact_cache=...)``, the tuning CLI / service
+``--reuse-artifacts`` flag): plenty of tests — and the honest default — want
+"analysis ran exactly once *per request*" to stay observable.  Reuse is
+measurable either way: ``repro_artifact_cache_total{outcome=hit|miss}``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.telemetry.metrics import METRICS
+
+from repro.compiler.artifacts import StageArtifact
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.compiler.session import CompilationSession
+
+ARTIFACT_CACHE_TOTAL = METRICS.counter(
+    "repro_artifact_cache_total",
+    "cross-request analysis-artifact adoptions by outcome",
+    labels=("outcome",),
+)
+
+#: default ceiling on cached session identities before LRU eviction
+DEFAULT_CAPACITY = 64
+
+
+class ArtifactCache:
+    """Thread-safe LRU of ``base_fingerprint → {stage: StageArtifact}``."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"artifact-cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Dict[str, StageArtifact]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def adopt(self, session: "CompilationSession") -> List[str]:
+        """Seed ``session`` with cached artifacts of its identity.
+
+        Returns the stage names actually installed (empty on a cache miss or
+        when the session already has them).  Call this *before* the first
+        thing that triggers analysis — adoption after the fact installs
+        nothing.
+        """
+        key = session.base_fingerprint
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                entry = dict(entry)
+        if not entry:
+            ARTIFACT_CACHE_TOTAL.inc(outcome="miss")
+            return []
+        installed = session.install_artifacts(entry)
+        ARTIFACT_CACHE_TOTAL.inc(outcome="hit" if installed else "miss")
+        return installed
+
+    def publish(self, session: "CompilationSession") -> List[str]:
+        """Harvest ``session``'s frozen config-invariant artifacts.
+
+        Merging is additive per identity (a session that ran further never
+        loses stages another published).  Returns the stage names now cached
+        for this identity.
+        """
+        artifacts = session.config_invariant_artifacts()
+        if not artifacts:
+            return []
+        key = session.base_fingerprint
+        with self._lock:
+            entry = self._entries.setdefault(key, {})
+            entry.update(artifacts)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return sorted(entry)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: the process-wide instance the ``--reuse-artifacts`` paths share
+GLOBAL_ARTIFACT_CACHE = ArtifactCache()

@@ -84,6 +84,13 @@ def build_parser() -> argparse.ArgumentParser:
         "works, but history is lost on restart)",
     )
     serve.add_argument(
+        "--reuse-artifacts",
+        action="store_true",
+        help="share config-invariant compiler artifacts (affine analysis) "
+        "across requests with the same program, binding and spec — repeat "
+        "requests run analysis zero times (per worker process)",
+    )
+    serve.add_argument(
         "--log-json",
         action="store_true",
         help="emit lifecycle events as one JSON object per line instead of "
@@ -184,6 +191,7 @@ def _serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         absorb_limit=args.absorb_limit,
         history=args.history,
+        reuse_artifacts=args.reuse_artifacts,
     )
 
     def handle_signal(signum: int, _frame: Optional[object]) -> None:

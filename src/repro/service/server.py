@@ -92,6 +92,7 @@ class TuningService:
         max_finished_jobs: int = 1024,
         absorb_limit: Optional[int] = None,
         history: Union[HistoryStore, str, Path, None] = None,
+        reuse_artifacts: bool = False,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -116,6 +117,8 @@ class TuningService:
         self.spec = spec
         #: finished job records kept for /status before the oldest are evicted
         self.max_finished_jobs = max_finished_jobs
+        #: opt-in cross-request analysis-artifact reuse in the workers
+        self.reuse_artifacts = reuse_artifacts
         if executor == "process":
             # Workers spawn lazily, at the first submit — i.e. from a process
             # whose HTTP handler threads are already running.  fork() from a
@@ -244,6 +247,7 @@ class TuningService:
                 cache_path=cache_path,
                 spec=self.spec,
                 job_id=job.id,
+                reuse_artifacts=self.reuse_artifacts,
             )
             try:
                 future = self._pool.submit(task)
@@ -623,6 +627,7 @@ class TuningServer:
         spec: GPUSpec = GEFORCE_8800_GTX,
         absorb_limit: Optional[int] = None,
         history: Union[HistoryStore, str, Path, None] = None,
+        reuse_artifacts: bool = False,
     ) -> None:
         self.service = TuningService(
             cache=cache,
@@ -631,6 +636,7 @@ class TuningServer:
             spec=spec,
             absorb_limit=absorb_limit,
             history=history,
+            reuse_artifacts=reuse_artifacts,
         )
         self._httpd = ThreadingHTTPServer((host, port), TuningRequestHandler)
         self._httpd.daemon_threads = True

@@ -31,6 +31,7 @@ def execute_request(
     cache_path: Optional[str] = None,
     spec: Optional[GPUSpec] = None,
     job_id: Optional[str] = None,
+    reuse_artifacts: bool = False,
 ) -> Dict[str, Any]:
     """Run one tuning request to completion; returns the job-completion payload.
 
@@ -44,6 +45,14 @@ def execute_request(
     counters are process-global — an upper bound when several *thread*
     workers tune concurrently in one process (process workers are exact,
     having the process to themselves).
+
+    ``reuse_artifacts`` (the server's ``--reuse-artifacts``) opts into the
+    executing process's :data:`~repro.compiler.GLOBAL_ARTIFACT_CACHE`:
+    repeat requests for one (program, binding, spec) then run affine
+    analysis zero times — visible in the returned ``stages`` counts and in
+    ``repro_artifact_cache_total`` of the shipped metrics delta.  With
+    process workers each worker process keeps its own cache (long-lived pool
+    processes warm up once each).
     """
     request = TuneRequest.from_dict(payload)
     # Resolve against the server's machine spec (GPUSpec is a frozen dataclass
@@ -76,6 +85,7 @@ def execute_request(
                 check_correctness=request.check_correctness,
                 check_program=resolved.check_program,
                 backend=request.backend,
+                artifact_cache=True if reuse_artifacts else None,
             )
     finally:
         if collector is not None:

@@ -1,0 +1,17 @@
+"""Shared test fixtures.
+
+The ``measure-c`` compile cache defaults to ``~/.cache/repro/measure-c``;
+tests must never write there (or warm-hit binaries a previous run left
+behind), so every test gets a private cache root via the
+``REPRO_COMPILE_CACHE`` environment override.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_compile_cache(tmp_path_factory, monkeypatch):
+    root = tmp_path_factory.mktemp("compile-cache")
+    monkeypatch.setenv("REPRO_COMPILE_CACHE", str(root))

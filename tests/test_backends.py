@@ -237,12 +237,13 @@ class TestMeasuredPythonBackend:
         assert len(best.measurement.metadata["times_ms"]) == 2
         assert report.backend.startswith("measure-py:")
 
-    def test_analysis_runs_once_and_lower_py_once_per_candidate(self):
+    def test_analysis_runs_once_and_lowering_once_per_candidate(self):
         program = matmul(16)
         with counting_stage_runs() as runs:
             report = autotune(program, space_options=WIDE_SPACE, backend=FAST_PY)
         assert runs.counts["analysis"] == 1
-        assert runs.counts["lower-py"] == len(report.results)
+        # vectorize=auto (the default) lowers through the vectorised terminal
+        assert runs.counts["lower-py-vec"] == len(report.results)
         # every candidate was measured, so every result is provenance-stamped
         assert all(
             r.measurement.kind == "measured-py" for r in report.results if r.feasible
@@ -313,9 +314,9 @@ class TestHybridBackend:
         assert report.best.measurement.kind == "measured-py"
         entry = cache.peek(report.fingerprint)
         assert entry["best"]["measurement"]["kind"] == "measured-py"
-        # analysis once per request; lower-py O(top + baseline), not O(space)
+        # analysis once per request; lowering O(top + baseline), not O(space)
         assert runs.counts["analysis"] == 1
-        assert 1 <= runs.counts["lower-py"] <= 8 + 1
+        assert 1 <= runs.counts["lower-py-vec"] <= 8 + 1
         assert len(report.results) > 8  # the model really pruned a wider set
         # un-measured survivors keep their model provenance for inspection
         kinds = {r.measurement_kind for r in report.results}

@@ -201,7 +201,8 @@ class TestPassManager:
         with pytest.raises(ValueError, match="unknown pass 'bogus'"):
             MappingPipeline(passes=["bogus"])
         assert sorted(PASS_REGISTRY) == sorted(
-            ["analysis", "tiling", "scratchpad", "mapping", "emit", "lower-py"]
+            ["analysis", "tiling", "scratchpad", "mapping", "emit",
+             "lower-py", "lower-py-vec"]
         )
 
     def test_duplicate_pass_names_rejected(self):
