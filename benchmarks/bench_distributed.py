@@ -1,0 +1,206 @@
+"""The distributed-GEMM acceptance bench: schedules, asymmetry, history gate.
+
+Three sections, mirroring the ISSUE-9 acceptance criteria:
+
+* **asymmetry** — the link model at the Snippet 3 operating point (4×4
+  sub-grid, 56³ problem): broadcast must sustain ~0.868 words/cycle,
+  gather ~0.298, a ≥ 2.5× per-byte gather-vs-broadcast gap.
+* **compute-bound** — tune a 64³ SUMMA GEMM; the winner must be the
+  pipelined schedule with ≥ 50% of its panel broadcasts hidden under
+  compute, and the blocking-vs-pipelined winner gap is reported.
+* **gather-bound** — tune a (212, 216, 4) GEMM whose D2H collection of C
+  dominates; the winner must be a blocking mapping whose C tile is larger
+  than the best pipelined candidate's (the footprint of the pipeline's
+  panel buffers prices the overlap out of the tight mapping).
+
+Runs standalone for CI::
+
+    PYTHONPATH=src python benchmarks/bench_distributed.py --quick --json BENCH_distributed.json
+
+With ``--history FILE`` every tuning round appends one
+:class:`~repro.telemetry.history.HistoryRecord`, so two bench invocations
+give the ``history check`` regression sentinel a comparable window per
+(kernel, variant, spec, backend) group.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from repro.autotune import SpaceOptions, autotune
+from repro.distmodel import LinkModel, broadcast_cost, gather_cost
+from repro.kernels import build_distributed_gemm_program
+from repro.machine import GridSpec, WSE2_GRID
+from repro.telemetry.history import open_history
+
+from conftest import print_series, write_bench_history, write_bench_json
+
+#: the compute-bound SUMMA shape: deep k, overlap pays
+COMPUTE_BOUND = (64, 64, 64)
+#: the gather-bound shape: huge C, k=4 — the contended D2H drain dominates
+GATHER_BOUND = (212, 216, 4)
+#: a smaller fabric for the gather-bound shape — same link calibration, but a
+#: distinct variant, so the two shapes land in separate history groups and the
+#: regression gate compares like with like
+SMALL_GRID = GridSpec(name="4x4 host-port fabric (modelled)", grid_p=4)
+
+
+def link_asymmetry() -> Dict[str, float]:
+    """The Snippet 3 calibration check: per-byte H2D vs contended D2H."""
+    link = LinkModel.from_grid(WSE2_GRID)
+    words_out, words_back, p = 56 * 56 * 2, 56 * 56, 4
+    broadcast = broadcast_cost(link, words_out, p)
+    gather = gather_cost(link, words_back, p)
+    out_rate = words_out / broadcast
+    back_rate = words_back / gather
+    return {
+        "broadcast_cycles": round(broadcast, 1),
+        "gather_cycles": round(gather, 1),
+        "broadcast_words_per_cycle": round(out_rate, 3),
+        "gather_words_per_cycle": round(back_rate, 3),
+        "per_byte_asymmetry": round(out_rate / back_rate, 3),
+    }
+
+
+def _best_of_schedule(report, schedule: str):
+    candidates = [
+        r
+        for r in report.results
+        if r.feasible and r.configuration.extras_dict.get("schedule") == schedule
+    ]
+    return min(candidates, key=lambda r: (r.time_ms, r.configuration.key())) if candidates else None
+
+
+def tune_shape(shape, grid, history, candidates: int) -> Dict[str, object]:
+    """Tune one SUMMA shape and report the blocking-vs-pipelined outcome."""
+    m, n, k = shape
+    report = autotune(
+        build_distributed_gemm_program(m, n, k),
+        grid=grid,
+        space_options=SpaceOptions(tile_candidates_per_geometry=candidates),
+        history=history,
+    )
+    best = report.best
+    extras = best.configuration.extras_dict
+    tiles = dict(best.configuration.tile_sizes)
+    metadata = best.measurement.metadata
+    blocking = _best_of_schedule(report, "blocking")
+    pipelined = _best_of_schedule(report, "pipelined")
+    loser = blocking if extras["schedule"] == "pipelined" else pipelined
+    gap_pct = (
+        100.0 * (loser.time_ms - best.time_ms) / best.time_ms if loser else None
+    )
+    row: Dict[str, object] = {
+        "shape": f"{m}x{n}x{k}",
+        "winner_schedule": extras["schedule"],
+        "winner_grid_p": extras["grid_p"],
+        "winner_depth": extras["depth"],
+        "winner_tiles": tiles,
+        "winner_ms": round(best.time_ms, 6),
+        "winner_cycles": round(metadata["cycles"], 1),
+        "hidden_fraction": round(metadata["hidden_fraction"], 3),
+        "schedule_gap_pct": round(gap_pct, 2) if gap_pct is not None else None,
+        "best_blocking_ms": round(blocking.time_ms, 6) if blocking else None,
+        "best_pipelined_ms": round(pipelined.time_ms, 6) if pipelined else None,
+        "evaluations": report.num_evaluations,
+    }
+    # area of the winner's C tile vs the best mapping of the losing schedule
+    if loser is not None:
+        loser_tiles = dict(loser.configuration.tile_sizes)
+        row["winner_c_tile"] = _c_tile_area(tiles)
+        row["loser_c_tile"] = _c_tile_area(loser_tiles)
+    return row
+
+
+def _c_tile_area(tiles: Dict[str, int]) -> int:
+    mt, nt, _kt = (tiles[name] for name in ("i", "j", "k"))
+    return mt * nt
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Distributed-GEMM schedule/asymmetry acceptance bench."
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer tile candidates per geometry (CI-sized run)",
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", default=None,
+        help="merge results (and telemetry counters) into this JSON file",
+    )
+    parser.add_argument(
+        "--history", metavar="FILE", default=None,
+        help="append one HistoryRecord per tuning round to this JSONL store",
+    )
+    args = parser.parse_args(argv)
+    candidates = 2 if args.quick else 6
+    history = open_history(args.history)
+
+    asymmetry = link_asymmetry()
+    print_series("Snippet-3 link asymmetry (4x4 grid, 56^3)", [asymmetry])
+
+    rows: List[Dict[str, object]] = [
+        tune_shape(COMPUTE_BOUND, WSE2_GRID, history, candidates),
+        tune_shape(GATHER_BOUND, SMALL_GRID, history, candidates),
+    ]
+    printable = [
+        {k: v for k, v in row.items() if k not in ("winner_tiles",)} for row in rows
+    ]
+    print_series("SUMMA schedule selection", printable)
+
+    compute_row, gather_row = rows
+    failures: List[str] = []
+    if asymmetry["per_byte_asymmetry"] < 2.5:
+        failures.append(
+            f"gather-vs-broadcast per-byte asymmetry "
+            f"{asymmetry['per_byte_asymmetry']} < 2.5"
+        )
+    if compute_row["winner_schedule"] != "pipelined":
+        failures.append("compute-bound shape did not pick the pipelined schedule")
+    if compute_row["hidden_fraction"] < 0.5:
+        failures.append(
+            f"pipelined schedule hid only {compute_row['hidden_fraction']} "
+            "of its panel broadcasts (< 0.5)"
+        )
+    if gather_row["winner_schedule"] != "blocking":
+        failures.append("gather-bound shape did not pick the blocking schedule")
+    if gather_row.get("winner_c_tile", 0) <= gather_row.get("loser_c_tile", 0):
+        failures.append("gather-bound winner's C tile is not larger")
+
+    if args.json:
+        write_bench_json(
+            args.json,
+            "bench_distributed",
+            {
+                "asymmetry": asymmetry,
+                "compute_bound": compute_row,
+                "gather_bound": gather_row,
+                "grid": WSE2_GRID.name,
+            },
+        )
+        if args.history:
+            write_bench_history(
+                args.json.replace(".json", "_history.json"),
+                "bench_distributed",
+                args.history,
+            )
+        print(f"json -> {args.json}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "distributed acceptance: all criteria met — "
+        f"asymmetry {asymmetry['per_byte_asymmetry']}x, "
+        f"pipelined hides {compute_row['hidden_fraction']:.0%} on "
+        f"{compute_row['shape']}, blocking wins {gather_row['shape']} "
+        f"by {gather_row['schedule_gap_pct']}%"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

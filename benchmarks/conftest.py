@@ -79,7 +79,7 @@ def write_bench_history(path: str, section: str, history_path: str) -> None:
     """Summarise a tuning-history store into ``path`` (``BENCH_history.json``).
 
     Reads the JSONL history the bench appended to and writes, per
-    (kernel, spec, backend) group, the winner-time trend (oldest → newest)
+    (kernel, variant, spec, backend) group, the winner-time trend (oldest → newest)
     plus the percentile rollup — the repo's machine-readable perf
     trajectory.  Same one-section-per-bench merge discipline as
     :func:`write_bench_json`.
@@ -94,11 +94,12 @@ def write_bench_history(path: str, section: str, history_path: str) -> None:
     trends: Dict[str, object] = {}
     for key, group in sorted(group_records(records).items()):
         ordered = sorted(group, key=lambda r: r.ts)
-        label = f"{key[0]}|{key[1]}|{key[2]}"
+        label = "|".join(part for part in key if part)
         trends[label] = {
             "kernel": key[0],
-            "spec": key[1],
-            "backend": key[2],
+            "variant": key[1],
+            "spec": key[2],
+            "backend": key[3],
             "winner_ms": [round(r.winner_ms, 6) for r in ordered],
             "evaluations": [r.evaluations for r in ordered],
             "rho": [r.rho for r in ordered],

@@ -21,9 +21,13 @@ Public API highlights
 * :mod:`repro.service` — the autotuner served as a long-lived multi-process
   tuning server with a shared cache and in-flight request deduplication.
 * :mod:`repro.machine` — the GPU / CPU performance models standing in for the
-  paper's GeForce 8800 GTX testbed.
-* :mod:`repro.kernels` — the evaluation workloads (MPEG-4 ME, 1-D Jacobi,
-  matmul, conv2d).
+  paper's GeForce 8800 GTX testbed, plus :class:`~repro.machine.GridSpec`,
+  the multi-PE grid target of the distributed kernel family.
+* :mod:`repro.distmodel` — the communication-aware cost model (asymmetric
+  host links, hop latency, overlap-aware phase schedules) pricing
+  distributed SUMMA-GEMM mappings.
+* :mod:`repro.kernels` — the evaluation workloads (MPEG-4 ME, 1-D/2-D
+  Jacobi, matmul, conv2d, distributed-gemm).
 """
 
 from repro.autotune import (

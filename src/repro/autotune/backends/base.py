@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 from repro.compiler import CompilationSession
-from repro.machine.spec import GPUSpec
+from repro.machine.spec import GPUSpec, GridSpec
 from repro.telemetry import trace
 from repro.telemetry.events import EVENTS
 from repro.telemetry.metrics import METRICS
@@ -123,14 +123,28 @@ class EvaluationBackend:
     #: contend for the cores and skew each other, so parallel candidate
     #: evaluation is serialized (with a warning) for such backends
     measures_wall_clock: bool = False
+    #: whether this backend can price *distributed* configurations (those
+    #: carrying grid extras); wall-clock backends cannot execute a multi-PE
+    #: mapping on the host, so such candidates become infeasible results
+    supports_distributed: bool = False
 
     def __init__(self) -> None:
         self._session: Optional[CompilationSession] = None
         self._spec: Optional[GPUSpec] = None
+        self._grid: Optional[GridSpec] = None
         self._seed: int = 0
         self._reuse_analysis: bool = True
         self._memo: Optional[Dict[Any, Measurement]] = None
         self._memo_lock = threading.Lock()
+
+    def set_grid(self, grid: Optional[GridSpec]) -> None:
+        """Attach the PE-grid target of a distributed tuning request.
+
+        Called by the evaluator before :meth:`prepare`; the grid survives
+        pickling to pool workers (it is a frozen dataclass).  Backends that
+        do not support distributed pricing simply never read it.
+        """
+        self._grid = grid
 
     # -- lifecycle ---------------------------------------------------------------
     def prepare(
@@ -238,9 +252,20 @@ class EvaluationBackend:
 
     def _checked_measure(self, configuration: Any) -> Measurement:
         try:
+            if not self.supports_distributed and self._is_distributed(configuration):
+                raise ValueError(
+                    f"backend {self.uri()!r} cannot execute distributed (PE-grid) "
+                    "mappings on this host; use the model: backend"
+                )
             return self._measure(configuration)
         except ValueError as error:
             return Measurement.infeasible(self.kind, str(error))
+
+    @staticmethod
+    def _is_distributed(configuration: Any) -> bool:
+        """Whether a candidate carries PE-grid family parameters."""
+        extras = getattr(configuration, "extras", ()) or ()
+        return any(key == "grid_p" for key, _value in extras)
 
     def _timing_provenance(self) -> Dict[str, Any]:
         """The warmup/repeat/trim knobs, when this backend has them."""

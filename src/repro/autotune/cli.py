@@ -237,7 +237,9 @@ def trace_main(argv: Sequence[str]) -> int:
 def history_main(argv: Sequence[str]) -> int:
     """``history {list,show,compare,check} FILE``: the regression sentinel.
 
-    ``list`` prints per-(kernel, spec, backend) percentile rollups, ``show``
+    ``list`` prints per-(kernel, variant, spec, backend) percentile rollups
+    (``variant`` carries family parameters such as a distributed kernel's
+    grid target, so kernel families stay distinct groups), ``show``
     the raw records, ``compare`` the current window of each group against
     its prior records, and ``check`` exits 1 when any group's winner time or
     evaluation count regressed beyond ``--threshold`` — the CI gate.
@@ -257,7 +259,7 @@ def history_main(argv: Sequence[str]) -> int:
     )
     sub = parser.add_subparsers(dest="subcommand", required=True)
     for name, description in (
-        ("list", "per-(kernel, spec, backend) percentile rollups"),
+        ("list", "per-(kernel, variant, spec, backend) percentile rollups"),
         ("show", "raw history records, oldest first"),
         ("compare", "current window of each group vs its prior records"),
         ("check", "exit 1 when the current window regressed (the CI gate)"),
@@ -297,14 +299,17 @@ def history_main(argv: Sequence[str]) -> int:
     if args.subcommand == "list":
         print(f"history {args.file}: {len(records)} records")
         header = (
-            f"{'kernel':<12} {'spec':<18} {'backend':<28} {'runs':>4} {'hits':>4} "
+            f"{'kernel':<16} {'variant':<22} {'spec':<18} {'backend':<28} "
+            f"{'runs':>4} {'hits':>4} "
             f"{'best_ms':>9} {'p50_ms':>9} {'p90_ms':>9} {'evals':>6} {'rho':>5}"
         )
         print(header)
         for row in rollup(records):
             rho = f"{row['mean_rho']:.2f}" if row["mean_rho"] is not None else "-"
+            variant = row.get("variant") or "-"
             print(
-                f"{row['kernel']:<12} {row['spec']:<18} {row['backend']:<28} "
+                f"{row['kernel']:<16} {variant:<22} {row['spec']:<18} "
+                f"{row['backend']:<28} "
                 f"{row['requests']:>4} {row['cache_hits']:>4} "
                 f"{row['best_ms']:>9.3f} {row['p50_ms']:>9.3f} {row['p90_ms']:>9.3f} "
                 f"{row['mean_evaluations']:>6.1f} {rho:>5}"
@@ -316,8 +321,9 @@ def history_main(argv: Sequence[str]) -> int:
             rho = f" rho={record.rho:.2f}" if record.rho is not None else ""
             trace_id = f" trace={record.trace_id}" if record.trace_id else ""
             job = f" job={record.job_id}" if record.job_id else ""
+            variant = f" ({record.variant})" if record.variant else ""
             print(
-                f"{record.kernel} [{record.backend}] "
+                f"{record.kernel}{variant} [{record.backend}] "
                 f"{'hit ' if record.cache_hit else 'tune'} "
                 f"winner={record.winner_ms:.3f}ms ({record.winner_kind}) "
                 f"evals={record.evaluations} wall={record.wall_s:.3f}s "
@@ -335,8 +341,10 @@ def history_main(argv: Sequence[str]) -> int:
                     f"{row['delta_pct']:+.1f}% "
                     f"({row['prior_best_ms']:.3f} -> {row['current_best_ms']:.3f} ms)"
                 )
+            variant = row.get("variant") or "-"
             print(
-                f"{row['kernel']:<12} {row['spec']:<18} {row['backend']:<28} {delta}"
+                f"{row['kernel']:<16} {variant:<22} {row['spec']:<18} "
+                f"{row['backend']:<28} {delta}"
             )
         return 0
 
@@ -362,9 +370,10 @@ def history_main(argv: Sequence[str]) -> int:
         file=sys.stderr,
     )
     for failure in failures:
+        variant = f" ({failure['variant']})" if failure.get("variant") else ""
         for reason in failure["reasons"]:
             print(
-                f"  {failure['kernel']} [{failure['backend']}]: {reason}",
+                f"  {failure['kernel']}{variant} [{failure['backend']}]: {reason}",
                 file=sys.stderr,
             )
     return 1
@@ -585,7 +594,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in available_kernels():
             kernel = get_kernel(name)
             sizes = ", ".join(f"{k}={v}" for k, v in kernel.default_sizes.items())
-            print(f"{name:10s} {kernel.description}  (defaults: {sizes})")
+            family = "" if kernel.grid is None else f" [distributed: {kernel.grid.name}]"
+            print(f"{name:16s} {kernel.description}  (defaults: {sizes}){family}")
         return 0
     if not args.kernel:
         parser.error("a kernel name is required (or --list-kernels)")
@@ -607,7 +617,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     try:
         cache = TuningCache(args.cache) if args.cache else None
-        parse_backend_uri(args.backend)  # typo → usage error before any work
+        backend = parse_backend_uri(args.backend)  # typo → usage error early
+        if kernel.grid is not None and not backend.supports_distributed:
+            raise ValueError(
+                f"backend {args.backend!r} cannot price distributed (PE-grid) "
+                f"mappings; tune {args.kernel!r} under the model: backend"
+            )
     except ValueError as error:  # e.g. an unknown store or backend scheme
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -630,6 +645,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         backend=args.backend,
                         history=args.history,
                         artifact_cache=True if args.reuse_artifacts else None,
+                        grid=kernel.grid,
                     )
                 except BackendUnavailable as error:
                     print(f"error: {error}", file=sys.stderr)
@@ -679,10 +695,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         checked = "" if result.correct is None else f" correct={result.correct}"
         kind = result.measurement_kind
         provenance = "" if kind == "model" else f" [{kind}]"
+        extras = "".join(f" {k}={v}" for k, v in config.extras)
         print(
             f"  {result.time_ms:9.3f} ms  blocks={config.num_blocks:<4d} "
             f"threads={config.threads_per_block:<4d} tiles[{tiles}] "
-            f"spm={'on' if config.use_scratchpad else 'off'}{checked}{provenance}"
+            f"spm={'on' if config.use_scratchpad else 'off'}{extras}{checked}{provenance}"
         )
     return 0
 

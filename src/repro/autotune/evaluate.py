@@ -35,7 +35,7 @@ import numpy as np
 from repro.compiler import CompilationSession
 from repro.core.options import MappingOptions
 from repro.ir.program import Program
-from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
+from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec, GridSpec
 from repro.runtime.interpreter import run_program
 from repro.telemetry import trace
 from repro.autotune.backends import EvaluationBackend, Measurement, resolve_backend
@@ -131,6 +131,7 @@ class ConfigurationEvaluator:
         session: Optional[CompilationSession] = None,
         reuse_analysis: bool = True,
         backend: Union[str, EvaluationBackend, None] = None,
+        grid: Optional[GridSpec] = None,
     ) -> None:
         """``check_program``: a small-size twin of ``program`` to verify
         functionally (defaults to ``program`` itself — only sensible when the
@@ -146,9 +147,14 @@ class ConfigurationEvaluator:
         BackendUnavailable` eagerly when the host cannot run it (e.g.
         ``measure-c:`` without a toolchain) — a doomed request must fail
         before any tuning work starts.
+
+        ``grid``: the PE-grid target of a *distributed* tuning request —
+        attached to the backend (which prices grid mappings on
+        :mod:`repro.distmodel`) before it is prepared.
         """
         self.program = program
         self.spec = spec
+        self.grid = grid
         self.param_values = dict(param_values or {})
         self.base_options = base_options or MappingOptions()
         self.check_correctness = check_correctness
@@ -156,6 +162,8 @@ class ConfigurationEvaluator:
         self.seed = seed
         self.reuse_analysis = reuse_analysis
         self.backend = resolve_backend(backend)
+        if grid is not None:
+            self.backend.set_grid(grid)
         self._session = session
         self._check_session: Optional[CompilationSession] = None
         self._lock = threading.Lock()

@@ -27,9 +27,10 @@ from repro.telemetry.metrics import METRICS
 from repro.core.options import MappingOptions
 from repro.ir.printer import program_to_c
 from repro.ir.program import Program
-from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
+from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec, GridSpec
 from repro.autotune.backends import EvaluationBackend, resolve_backend
 from repro.autotune.cache import TuningCache, fingerprint
+from repro.autotune.distspace import DistributedSpace
 from repro.autotune.evaluate import ConfigurationEvaluator, EvaluationResult
 from repro.autotune.search import (
     EXECUTORS,
@@ -86,13 +87,14 @@ class TuningReport:
         source = "cache" if self.from_cache else f"{self.num_evaluations} evaluations"
         kind = best.measurement_kind
         provenance = "" if kind == "model" else f" via {kind}"
+        extras = "".join(f" {k}={v}" for k, v in best.configuration.extras)
         return (
             f"{self.kernel_name}: best {best.time_ms:.3f} ms "
             f"(baseline {self.baseline.time_ms:.3f} ms, "
             f"{self.speedup_over_baseline:.2f}x) — blocks={best.configuration.num_blocks} "
             f"threads={best.configuration.threads_per_block} tiles[{tiles}] "
-            f"scratchpad={'on' if best.configuration.use_scratchpad else 'off'} "
-            f"[{source}]{provenance}"
+            f"scratchpad={'on' if best.configuration.use_scratchpad else 'off'}"
+            f"{extras} [{source}]{provenance}"
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -149,6 +151,7 @@ def _prepare_request(
     check_program: Optional[Program],
     backend: Union[str, EvaluationBackend, None] = None,
     artifact_cache: Optional[ArtifactCache] = None,
+    grid: Optional[GridSpec] = None,
 ):
     """Resolve one tuning request into (options, strategy, space, fingerprint).
 
@@ -169,6 +172,11 @@ def _prepare_request(
     options = options or MappingOptions()
     strategy = resolve_strategy(strategy, seed=seed)
     backend = resolve_backend(backend)
+    if grid is not None and not getattr(backend, "supports_distributed", False):
+        raise ValueError(
+            f"backend {backend.uri()!r} cannot price distributed (PE-grid) "
+            "mappings; tune distributed kernels under the model: backend"
+        )
     compile_session = CompilationSession(
         program, spec=spec, options=options, param_values=param_values
     )
@@ -185,14 +193,28 @@ def _prepare_request(
         # never enters the request fingerprint — where an artifact came from
         # cannot change what the request computes.
         artifact_cache.adopt(compile_session)
-    space = ConfigurationSpace(
-        program,
-        spec=spec,
-        param_values=param_values,
-        base_options=options,
-        space_options=space_options or SpaceOptions(),
-        session=compile_session,
-    )
+    if grid is not None:
+        # Distributed request: the space enumerates SUMMA mappings onto the
+        # grid, and its describe() embeds the GridSpec — which is how the
+        # grid target enters the fingerprint below.
+        space: ConfigurationSpace = DistributedSpace(
+            program,
+            grid,
+            spec=spec,
+            param_values=param_values,
+            base_options=options,
+            space_options=space_options or SpaceOptions(),
+            session=compile_session,
+        )
+    else:
+        space = ConfigurationSpace(
+            program,
+            spec=spec,
+            param_values=param_values,
+            base_options=options,
+            space_options=space_options or SpaceOptions(),
+            session=compile_session,
+        )
     check_signature: Dict[str, Any] = {"enabled": check_correctness}
     if check_correctness:
         # The spot-check program and input seed change every `correct` verdict.
@@ -225,6 +247,7 @@ def tuning_fingerprint(
     check_correctness: bool = False,
     check_program: Optional[Program] = None,
     backend: Union[str, EvaluationBackend, None] = None,
+    grid: Optional[GridSpec] = None,
 ) -> str:
     """The cache fingerprint :func:`autotune` would use for this request.
 
@@ -234,6 +257,7 @@ def tuning_fingerprint(
     _options, _strategy, _space, key, _session, _backend = _prepare_request(
         program, spec, param_values, options, strategy, seed,
         space_options, check_correctness, check_program, backend,
+        grid=grid,
     )
     return key
 
@@ -267,6 +291,7 @@ def autotune(
     backend: Union[str, EvaluationBackend, None] = None,
     history: Union[HistoryStore, str, Path, None] = None,
     artifact_cache: Union[ArtifactCache, bool, None] = None,
+    grid: Optional[GridSpec] = None,
 ) -> TuningReport:
     """Empirically tune the mapping of ``program`` on ``spec``.
 
@@ -317,6 +342,15 @@ def autotune(
         ArtifactCache` instance.  A second request for the same (program,
         binding, spec) then runs affine analysis **zero** times.  Never part
         of the request fingerprint.
+    grid:
+        A :class:`~repro.machine.GridSpec` makes this a *distributed* tuning
+        request: the space becomes a
+        :class:`~repro.autotune.distspace.DistributedSpace` of SUMMA
+        mappings onto the PE grid, candidates are priced on
+        :mod:`repro.distmodel` (``model:`` backend only; provenance
+        ``model-dist``), and the grid enters the cache fingerprint via the
+        space description — the same kernel tuned against two grids never
+        shares a cache entry or a history regression group.
     """
     if max_workers <= 0:
         raise ValueError("max_workers must be positive")
@@ -329,6 +363,10 @@ def autotune(
     elif artifact_cache is False:
         artifact_cache = None
     history = open_history(history)
+    # Family parameters that are part of the kernel identity (history
+    # grouping): a distributed request tuned against a 16x16 fabric must not
+    # share a regression baseline with one tuned against an 8x8 fabric.
+    variant = f"{grid.grid_p}x{grid.grid_p}:{grid.name}" if grid is not None else ""
     started = time.perf_counter()
     # fallback=True: candidate spans opened on evaluator pool threads adopt
     # this span as their parent (see repro.telemetry.trace).
@@ -339,6 +377,7 @@ def autotune(
             program, spec, param_values, options, strategy, seed,
             space_options, check_correctness, check_program, backend,
             artifact_cache=artifact_cache,
+            grid=grid,
         )
         if artifact_cache is not None:
             # the space construction just froze (or adopted) the analysis
@@ -373,6 +412,7 @@ def autotune(
                     wall_s=time.perf_counter() - started,
                     trace_id=trace_id,
                     seed=report.seed,
+                    variant=variant,
                 )
                 report.history_record = record
                 if history is not None:
@@ -416,6 +456,7 @@ def autotune(
             seed=seed,
             session=compile_session,
             backend=backend,
+            grid=grid,
         )
         with make_batch_evaluator(
             evaluator, max_workers=max_workers, executor=executor
@@ -491,6 +532,7 @@ def autotune(
             wall_s=wall_s,
             trace_id=trace_id,
             seed=seed,
+            variant=variant,
         )
         report.history_record = record
         if history is not None:

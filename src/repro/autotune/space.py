@@ -53,6 +53,11 @@ class Configuration:
     threads_per_block: int
     tile_sizes: Tuple[Tuple[str, int], ...]
     use_scratchpad: bool = True
+    #: family parameters beyond the single-device knobs (e.g. a distributed
+    #: mapping's ``grid_p`` / ``schedule`` / ``depth``), sorted for stable
+    #: hashing; empty for every single-device configuration, so existing
+    #: keys, cache entries and dict round-trips are unchanged
+    extras: Tuple[Tuple[str, Any], ...] = ()
 
     @staticmethod
     def make(
@@ -60,23 +65,32 @@ class Configuration:
         threads_per_block: int,
         tile_sizes: Mapping[str, int],
         use_scratchpad: bool = True,
+        extras: Optional[Mapping[str, Any]] = None,
     ) -> "Configuration":
         return Configuration(
             num_blocks=int(num_blocks),
             threads_per_block=int(threads_per_block),
             tile_sizes=tuple(sorted((str(k), int(v)) for k, v in tile_sizes.items())),
             use_scratchpad=bool(use_scratchpad),
+            extras=tuple(sorted((str(k), v) for k, v in (extras or {}).items())),
         )
 
     @property
     def tile_dict(self) -> Dict[str, int]:
         return dict(self.tile_sizes)
 
+    @property
+    def extras_dict(self) -> Dict[str, Any]:
+        return dict(self.extras)
+
     def key(self) -> str:
         """Stable human-readable identity, used for tie-breaking and caching."""
         tiles = "_".join(f"{loop}{size}" for loop, size in self.tile_sizes)
         spm = "spm" if self.use_scratchpad else "nospm"
-        return f"b{self.num_blocks}.t{self.threads_per_block}.{tiles}.{spm}"
+        base = f"b{self.num_blocks}.t{self.threads_per_block}.{tiles}.{spm}"
+        if self.extras:
+            base += "." + "_".join(f"{k}-{v}" for k, v in self.extras)
+        return base
 
     def to_options(self, base: Optional[MappingOptions] = None) -> MappingOptions:
         """Materialise as pipeline options on top of ``base`` policy knobs."""
@@ -99,12 +113,15 @@ class Configuration:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "num_blocks": self.num_blocks,
             "threads_per_block": self.threads_per_block,
             "tile_sizes": dict(self.tile_sizes),
             "use_scratchpad": self.use_scratchpad,
         }
+        if self.extras:
+            payload["extras"] = dict(self.extras)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Configuration":
@@ -113,6 +130,7 @@ class Configuration:
             threads_per_block=payload["threads_per_block"],
             tile_sizes=payload["tile_sizes"],
             use_scratchpad=payload["use_scratchpad"],
+            extras=payload.get("extras"),
         )
 
 

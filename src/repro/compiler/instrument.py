@@ -55,6 +55,12 @@ class CompileCounter:
     *zero* pipeline compiles; this process-wide counter is how tests and
     benchmarks verify that promise.  Increments are lock-protected because
     parallel evaluation compiles on thread-pool workers.
+
+    Also a shim over the metrics registry: every :meth:`increment` publishes
+    ``repro_compiles_total``.  Prefer the :func:`counting_compiles` delta (or
+    the registry) over reading :data:`COMPILE_COUNTER` directly — the raw
+    process-global count is a legacy surface kept for the pipeline-era
+    callers and includes every other thread's compiles.
     """
 
     count: int = 0
@@ -102,7 +108,14 @@ def counting_compiles():
 
 @dataclass
 class StageCounter:
-    """Per-stage pass-execution counts, process-wide and thread-safe."""
+    """Per-stage pass-execution counts, process-wide and thread-safe.
+
+    Shim over the metrics registry like :class:`CompileCounter`: every
+    :meth:`record` also publishes ``repro_stage_runs_total{stage=...}``.
+    Prefer the :func:`counting_stage_runs` delta (or the registry) over
+    reading :data:`STAGE_COUNTER` directly; the raw global is kept for
+    legacy callers.
+    """
 
     counts: Dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)

@@ -15,10 +15,17 @@ replay-from-stage.
 
 Both emit :class:`DeprecationWarning`; new code should build sessions
 directly (via :meth:`MappingPipeline.session` or :mod:`repro.compiler`),
-which also unlocks artifact reuse across configurations.  The counters
-(:data:`COMPILE_COUNTER`, :func:`counting_compiles`) and the pure helpers
-(:func:`loop_extents`, :func:`split_across`) are re-exported from the
-compiler package unchanged.
+which also unlocks artifact reuse across configurations.
+
+The counters (:data:`COMPILE_COUNTER`, :func:`counting_compiles`) and the
+pure helpers (:func:`loop_extents`, :func:`split_across`) are re-exported
+from :mod:`repro.compiler` for compatibility.  Note the counters are no
+longer the standalone tallies that once lived here: since the telemetry
+refactor every increment also publishes to the process-wide metrics
+registry (``repro_compiles_total`` / ``repro_stage_runs_total`` on
+``/metrics`` — see :mod:`repro.compiler.instrument`).  **Deprecated import
+path**: reach them via :mod:`repro.compiler`; this module's re-export is
+kept only for pre-staged-compiler callers and may be dropped with the shim.
 """
 
 from __future__ import annotations

@@ -1,0 +1,46 @@
+"""Communication-aware cost model for distributed (multi-PE) mappings.
+
+The single-device cost models in :mod:`repro.machine` price one kernel on
+one GPU; this package prices *mappings onto a P×P grid of PEs* in the
+style of the pipelined SUMMA GEMM experiments (SNIPPETS.md Snippet 3):
+
+* :mod:`repro.distmodel.links` — :class:`LinkModel` and the collective
+  primitives (:func:`broadcast_cost`, :func:`gather_cost`,
+  :func:`shift_cost`), calibrated to the measured H2D/D2H asymmetry
+  (broadcast ≈ 0.868 words/cycle vs gather ≈ 0.298);
+* :mod:`repro.distmodel.schedule` — overlap-aware :class:`Phase` /
+  :class:`PhaseSchedule` accounting (elapsed = compute + *exposed* comm),
+  publishing ``repro_dist_phase_seconds{phase}``;
+* :mod:`repro.distmodel.gemm` — :class:`SummaMapping` (grid size, Mt/Nt/Kt
+  tiles, blocking vs pipelined broadcasts, pipeline depth), per-PE
+  footprint pruning, and :func:`gemm_schedule`, the pricing function the
+  ``model:`` backend uses for the ``distributed-gemm`` kernel family.
+
+The machine side lives in :class:`repro.machine.GridSpec` so grid targets
+fingerprint into cache keys exactly like :class:`repro.machine.GPUSpec`.
+"""
+
+from repro.distmodel.links import LinkModel, broadcast_cost, gather_cost, shift_cost
+from repro.distmodel.schedule import DIST_PHASE_SECONDS, Phase, PhaseSchedule
+from repro.distmodel.gemm import (
+    SCHEDULES,
+    SummaMapping,
+    gemm_schedule,
+    mapping_infeasible_reason,
+    pe_footprint_bytes,
+)
+
+__all__ = [
+    "LinkModel",
+    "broadcast_cost",
+    "gather_cost",
+    "shift_cost",
+    "DIST_PHASE_SECONDS",
+    "Phase",
+    "PhaseSchedule",
+    "SCHEDULES",
+    "SummaMapping",
+    "gemm_schedule",
+    "mapping_infeasible_reason",
+    "pe_footprint_bytes",
+]

@@ -1,0 +1,189 @@
+"""SUMMA distributed-GEMM mappings priced as phase schedules.
+
+A :class:`SummaMapping` places ``C(m×n) = A(m×k) · B(k×n)`` on a ``p×p``
+sub-grid: each PE owns an ``(m/p)×(k/p)`` block of A, a ``(k/p)×(n/p)``
+block of B and the ``(m/p)×(n/p)`` block of C it produces.  Execution is
+three phases, matching the measured SUMMA runs of SNIPPETS.md Snippet 3:
+
+1. ``distribute`` — host broadcasts A and B onto the grid (H2D);
+2. ``compute`` — ``k/Kt`` steps, each step row-broadcasting an
+   ``(m/p)×Kt`` panel of A and column-broadcasting a ``Kt×(n/p)`` panel of
+   B on the fabric, then running the local rank-Kt update.  Under the
+   ``blocking`` schedule every step is panel-then-compute; under
+   ``pipelined`` the next step's panels stream in behind the current
+   compute (the T22-under-T11 overlap of Snippet 3), so after the first
+   panel's fill a step costs ``max(compute, comm)`` and the pipeline depth
+   amortises the per-hop latency;
+3. ``gather`` — host collects C from all ``p²`` PEs (D2H, contended).
+
+The per-PE footprint prices the pipeline's cost in *memory*: a pipelined
+mapping holds ``depth + 1`` panel-buffer sets against blocking's one, which
+is what pushes tight, gather-bound mappings (small ``p``, large C tiles)
+back to the blocking schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.distmodel.links import LinkModel, broadcast_cost, gather_cost, shift_cost
+from repro.distmodel.schedule import Phase, PhaseSchedule
+from repro.machine.spec import GridSpec
+
+#: the two broadcast schedules a mapping can choose between
+SCHEDULES = ("blocking", "pipelined")
+
+
+@dataclass(frozen=True)
+class SummaMapping:
+    """One point of the distributed-GEMM tuning space."""
+
+    #: sub-grid dimension: the mapping uses ``grid_p × grid_p`` PEs
+    grid_p: int
+    #: C-tile (local register/loop blocking) sizes within a PE's C block
+    mt: int
+    nt: int
+    #: panel width of one SUMMA step (the k-dimension tile)
+    kt: int
+    #: ``blocking`` or ``pipelined`` panel broadcasts
+    schedule: str = "pipelined"
+    #: panels in flight under the pipelined schedule (ignored by blocking)
+    depth: int = 1
+
+    @property
+    def panel_buffers(self) -> int:
+        """Panel-buffer sets a PE must hold (A-panel + B-panel per set)."""
+        return self.depth + 1 if self.schedule == "pipelined" else 1
+
+
+def pe_footprint_bytes(m: int, n: int, k: int, mapping: SummaMapping, grid: GridSpec) -> int:
+    """Bytes of private memory one PE needs under ``mapping``."""
+    p = mapping.grid_p
+    a_block = (m // p) * (k // p)
+    b_block = (k // p) * (n // p)
+    c_block = (m // p) * (n // p)
+    buffers = mapping.panel_buffers * mapping.kt * ((m // p) + (n // p))
+    return (a_block + b_block + c_block + buffers) * grid.word_bytes
+
+
+def mapping_infeasible_reason(
+    m: int, n: int, k: int, mapping: SummaMapping, grid: GridSpec
+) -> Optional[str]:
+    """Why ``mapping`` cannot run, or ``None`` when it can.
+
+    Pruning rules: the sub-grid must fit the fabric and divide every
+    problem dimension, tiles must divide the per-PE block they tile, the
+    pipeline depth must not exceed the step count, and the footprint must
+    fit the PE memory.
+    """
+    p = mapping.grid_p
+    if p < 1 or p > grid.grid_p:
+        return f"grid {p}x{p} exceeds fabric {grid.grid_p}x{grid.grid_p}"
+    if m % p or n % p or k % p:
+        return f"grid {p}x{p} does not divide problem {m}x{n}x{k}"
+    if mapping.schedule not in SCHEDULES:
+        return f"unknown schedule {mapping.schedule!r}"
+    if mapping.mt < 1 or (m // p) % mapping.mt:
+        return f"Mt={mapping.mt} does not tile the {m // p}-row C block"
+    if mapping.nt < 1 or (n // p) % mapping.nt:
+        return f"Nt={mapping.nt} does not tile the {n // p}-column C block"
+    if mapping.kt < 1 or (k // p) % mapping.kt:
+        return f"Kt={mapping.kt} does not tile the {k // p}-deep local panel"
+    if mapping.depth < 1:
+        return f"pipeline depth {mapping.depth} < 1"
+    steps = k // mapping.kt
+    if mapping.schedule == "pipelined" and mapping.depth > steps:
+        return f"pipeline depth {mapping.depth} exceeds {steps} steps"
+    footprint = pe_footprint_bytes(m, n, k, mapping, grid)
+    if footprint > grid.pe_memory_bytes:
+        return (
+            f"per-PE footprint {footprint} B exceeds "
+            f"{grid.pe_memory_bytes} B ({mapping.panel_buffers} panel-buffer sets)"
+        )
+    return None
+
+
+def gemm_schedule(
+    m: int, n: int, k: int, mapping: SummaMapping, grid: GridSpec
+) -> PhaseSchedule:
+    """Price one SUMMA mapping as a three-phase schedule (cycles).
+
+    Raises :class:`ValueError` for infeasible mappings, carrying the
+    pruning reason.
+    """
+    reason = mapping_infeasible_reason(m, n, k, mapping, grid)
+    if reason is not None:
+        raise ValueError(f"infeasible distributed mapping: {reason}")
+    link = LinkModel.from_grid(grid)
+    p = mapping.grid_p
+    steps = k // mapping.kt
+
+    distribute = Phase.serial(
+        "distribute",
+        comm_cycles=broadcast_cost(link, m * k + k * n, p),
+        words=m * k + k * n,
+    )
+
+    # One compute step: rank-Kt update of the local C block, tiled Mt×Nt.
+    macs_per_step = (m // p) * (n // p) * mapping.kt
+    subtiles = math.ceil((m // p) / mapping.mt) * math.ceil((n // p) / mapping.nt)
+    step_compute = (
+        macs_per_step * grid.compute_cycles_per_mac
+        + subtiles * grid.loop_overhead_cycles
+    )
+    # One step's fabric traffic: the A panel crosses the PE row, the B panel
+    # the PE column — each travelling up to p hops.
+    panel_words = (m // p) * mapping.kt + mapping.kt * (n // p)
+    step_comm_blocking = shift_cost(link, panel_words, hops=p)
+    total_compute = steps * step_compute
+
+    if mapping.schedule == "pipelined":
+        # Depth amortises the hop latency across the panels in flight; the
+        # first panel still pays it in full (the fill), and the last step
+        # computes with nothing left to prefetch.  This keeps pipelined
+        # ≤ blocking at equal parameters for every shape.
+        step_comm_pipelined = shift_cost(link, panel_words, hops=p) - (
+            link.hop_latency_cycles * p * (1.0 - 1.0 / mapping.depth)
+        )
+        fill = step_comm_blocking
+        exposed = fill + (steps - 1) * max(0.0, step_comm_pipelined - step_compute)
+        comm = fill + (steps - 1) * step_comm_pipelined
+        compute_phase = Phase(
+            name="compute",
+            compute_cycles=total_compute,
+            comm_cycles=comm,
+            exposed_comm_cycles=exposed,
+            overlapped=True,
+            steps=steps,
+            meta={
+                "schedule": "pipelined",
+                "depth": mapping.depth,
+                "fill_cycles": fill,
+                "step_compute_cycles": step_compute,
+                "step_comm_cycles": step_comm_pipelined,
+            },
+        )
+    else:
+        compute_phase = Phase(
+            name="compute",
+            compute_cycles=total_compute,
+            comm_cycles=steps * step_comm_blocking,
+            exposed_comm_cycles=steps * step_comm_blocking,
+            overlapped=False,
+            steps=steps,
+            meta={
+                "schedule": "blocking",
+                "step_compute_cycles": step_compute,
+                "step_comm_cycles": step_comm_blocking,
+            },
+        )
+
+    gather = Phase.serial(
+        "gather",
+        comm_cycles=gather_cost(link, m * n, p),
+        words=m * n,
+        senders=p * p,
+    )
+    return PhaseSchedule(phases=(distribute, compute_phase, gather))

@@ -1,0 +1,94 @@
+"""Link-level communication costs for a P×P PE grid behind one host port.
+
+The model prices the three collective shapes the distributed-GEMM schedules
+use, with the calibration target being the measured bandwidths of the
+pipelined SUMMA experiments (SNIPPETS.md Snippet 3):
+
+* **broadcast** (host → device): the host injects the payload once through
+  the host link and the fabric fans it out; cost is the injection time plus
+  one hop of latency per fabric row/column crossed.  At the Snippet 3
+  configuration (6,272 words onto a 4×4 grid) this lands on ~7,225 cycles,
+  i.e. 0.868 words/cycle.
+* **gather** (device → host): every PE of the sub-grid drains its result
+  through the *same* host port, which serialises the collection; each extra
+  concurrent sender adds :attr:`LinkModel.host_contention_penalty` to the
+  per-word cost.  At the Snippet 3 configuration (3,136 words from 16 PEs)
+  this lands on ~10,535 cycles, i.e. 0.298 words/cycle — the measured
+  ~2.9× per-byte asymmetry against the broadcast direction.
+* **shift** (PE → neighbouring PE on the fabric): plain bandwidth-plus-
+  latency over nearest-neighbour links, used for the per-step panel
+  broadcasts inside the compute phase.
+
+All costs are in fabric cycles; :class:`repro.machine.GridSpec` carries the
+clock that converts them to wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import GridSpec
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Per-direction link bandwidths and latencies of one grid fabric."""
+
+    #: raw host→device injection bandwidth, words per cycle
+    h2d_words_per_cycle: float = 0.9
+    #: raw device→host drain bandwidth, words per cycle (before contention)
+    d2h_words_per_cycle: float = 0.9
+    #: nearest-neighbour fabric link bandwidth, words per cycle
+    fabric_words_per_cycle: float = 1.0
+    #: latency of one fabric hop, in cycles
+    hop_latency_cycles: float = 64.0
+    #: fractional per-word slowdown per *extra* concurrent sender on the
+    #: device→host path (the host port serialises the collection)
+    host_contention_penalty: float = 0.13
+
+    @classmethod
+    def from_grid(cls, grid: GridSpec) -> "LinkModel":
+        """Build the link model from the calibrated fields of a grid spec."""
+        return cls(
+            h2d_words_per_cycle=grid.h2d_words_per_cycle,
+            d2h_words_per_cycle=grid.d2h_words_per_cycle,
+            fabric_words_per_cycle=grid.fabric_words_per_cycle,
+            hop_latency_cycles=grid.hop_latency_cycles,
+            host_contention_penalty=grid.host_contention_penalty,
+        )
+
+
+def broadcast_cost(link: LinkModel, words: int, grid_p: int) -> float:
+    """Cycles to broadcast ``words`` from the host onto a ``grid_p²`` sub-grid.
+
+    The host injects the payload once; the fabric replicates it, so the
+    payload crosses the host link exactly once and pays ``grid_p`` hops of
+    latency to reach the far edge of the sub-grid.
+    """
+    if words <= 0:
+        return 0.0
+    return words / link.h2d_words_per_cycle + link.hop_latency_cycles * grid_p
+
+
+def gather_cost(link: LinkModel, words: int, grid_p: int) -> float:
+    """Cycles to gather ``words`` from every PE of a ``grid_p²`` sub-grid.
+
+    All ``grid_p²`` PEs contend for the single host port; the per-word cost
+    scales with the number of *extra* senders, which is what makes the
+    device→host direction ~2.9× more expensive per byte than broadcast at
+    the Snippet 3 operating point.
+    """
+    if words <= 0:
+        return 0.0
+    senders = grid_p * grid_p
+    per_word = (1.0 / link.d2h_words_per_cycle) * (
+        1.0 + link.host_contention_penalty * (senders - 1)
+    )
+    return words * per_word + link.hop_latency_cycles * grid_p
+
+
+def shift_cost(link: LinkModel, words: int, hops: int = 1) -> float:
+    """Cycles to move ``words`` across ``hops`` nearest-neighbour links."""
+    if words <= 0:
+        return 0.0
+    return words / link.fabric_words_per_cycle + link.hop_latency_cycles * hops

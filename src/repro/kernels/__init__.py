@@ -26,6 +26,8 @@ from repro.kernels.jacobi1d import (
 )
 from repro.kernels.matmul import build_matmul_program
 from repro.kernels.conv2d import build_conv2d_program
+from repro.kernels.jacobi2d import build_jacobi2d_program
+from repro.kernels.distributed_gemm import build_distributed_gemm_program
 from repro.kernels.registry import (
     TunableKernel,
     available_kernels,
@@ -47,4 +49,6 @@ __all__ = [
     "build_jacobi_time_program",
     "build_matmul_program",
     "build_conv2d_program",
+    "build_jacobi2d_program",
+    "build_distributed_gemm_program",
 ]

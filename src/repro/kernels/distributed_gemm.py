@@ -1,0 +1,32 @@
+"""Distributed SUMMA GEMM — the multi-PE kernel family.
+
+The program itself is the plain ``C += A·B`` triple loop (identical
+semantics to :mod:`repro.kernels.matmul`, so interpreter spot-checks and
+the staged compiler keep working unchanged); what makes the family
+*distributed* is its tuning space: a :class:`repro.machine.GridSpec`
+attached to the registry entry turns the autotuner's configuration space
+into mappings onto a P×P PE grid — sub-grid size, Mt/Nt/Kt tiles,
+blocking-vs-pipelined panel broadcasts and pipeline depth — priced by
+:mod:`repro.distmodel` instead of the single-GPU model.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+
+def build_distributed_gemm_program(m: int, n: int, k: int) -> Program:
+    """``C (m×n) += A (m×k) · B (k×n)``, named for the distributed family."""
+    if min(m, n, k) <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    builder = ProgramBuilder("distributed-gemm")
+    a = builder.array("A", (m, k))
+    b = builder.array("B", (k, n))
+    c = builder.array("C", (m, n))
+    i, j, kk = builder.var("i"), builder.var("j"), builder.var("k")
+    with builder.loop("i", 0, m - 1):
+        with builder.loop("j", 0, n - 1):
+            with builder.loop("k", 0, k - 1):
+                builder.assign(c[i, j], a[i, kk] * b[kk, j], reduction="+", name="mac")
+    return builder.build()

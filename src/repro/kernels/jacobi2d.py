@@ -1,0 +1,34 @@
+"""2-D Jacobi stencil — the polybench-style 5-point sweep.
+
+``B[i][j] = (A[i][j] + A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]) / 5``
+over the interior of a padded grid: the classic heat-equation relaxation
+step (polybench's ``jacobi-2d``, one sweep).  Neighbouring output points
+share four of their five input reads, so the kernel exercises the same
+overlap-volume analysis as :mod:`repro.kernels.conv2d` but with a sparse
+cross-shaped footprint instead of a dense window — the single-device
+scenario-diversity widening ROADMAP item 5 asks for alongside the
+distributed family.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+
+
+def build_jacobi2d_program(height: int, width: int) -> Program:
+    """One 5-point Jacobi sweep over the ``height×width`` interior."""
+    if height <= 2 or width <= 2:
+        raise ValueError("height and width must exceed 2")
+    builder = ProgramBuilder("jacobi2d")
+    a = builder.array("A", (height + 2, width + 2))
+    b = builder.array("B", (height + 2, width + 2))
+    i, j = builder.var("i"), builder.var("j")
+    with builder.loop("i", 1, height):
+        with builder.loop("j", 1, width):
+            builder.assign(
+                b[i, j],
+                (a[i, j] + a[i - 1, j] + a[i + 1, j] + a[i, j - 1] + a[i, j + 1]) / 5,
+                name="sweep2d",
+            )
+    return builder.build()

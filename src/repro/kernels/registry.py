@@ -11,14 +11,17 @@ adding one :func:`register_kernel` call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.ir.program import Program
 from repro.kernels.conv2d import build_conv2d_program
+from repro.kernels.distributed_gemm import build_distributed_gemm_program
 from repro.kernels.jacobi1d import build_jacobi_sweep_program
+from repro.kernels.jacobi2d import build_jacobi2d_program
 from repro.kernels.matmul import build_matmul_program
 from repro.kernels.mpeg4_me import build_me_program
+from repro.machine.spec import GridSpec, WSE2_GRID
 
 
 @dataclass(frozen=True)
@@ -34,6 +37,15 @@ class TunableKernel:
     tile_loops: Tuple[str, ...]
     #: small problem sizes safe for interpreter-based correctness spot-checks
     check_sizes: Mapping[str, int] = field(default_factory=dict)
+    #: the PE-grid target of a *distributed* kernel family (``None`` for
+    #: single-device kernels); tuning requests for the kernel inherit it,
+    #: and it fingerprints into their cache keys
+    grid: Optional[GridSpec] = None
+
+    @property
+    def family(self) -> str:
+        """``distributed`` when the kernel tunes onto a PE grid."""
+        return "distributed" if self.grid is not None else "single-device"
 
     def build(self, **overrides: int) -> Program:
         """Build the program at the default sizes, overridden per keyword."""
@@ -53,13 +65,17 @@ class TunableKernel:
 
     def describe(self) -> Dict[str, object]:
         """JSON-serialisable metadata (the tuning service's ``/kernels`` view)."""
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "description": self.description,
+            "family": self.family,
             "default_sizes": dict(self.default_sizes),
             "tile_loops": list(self.tile_loops),
             "check_sizes": dict(self.check_sizes),
         }
+        if self.grid is not None:
+            payload["grid"] = asdict(self.grid)
+        return payload
 
 
 _REGISTRY: Dict[str, TunableKernel] = {}
@@ -118,6 +134,29 @@ register_kernel(
         default_sizes={"size": 1024},
         tile_loops=("i",),
         check_sizes={"size": 32},
+    )
+)
+
+register_kernel(
+    TunableKernel(
+        name="jacobi2d",
+        description="one 5-point 2-D Jacobi sweep (polybench-style stencil)",
+        builder=build_jacobi2d_program,
+        default_sizes={"height": 64, "width": 64},
+        tile_loops=("i", "j"),
+        check_sizes={"height": 8, "width": 8},
+    )
+)
+
+register_kernel(
+    TunableKernel(
+        name="distributed-gemm",
+        description="SUMMA GEMM on a P×P PE grid (blocking/pipelined broadcasts)",
+        builder=build_distributed_gemm_program,
+        default_sizes={"m": 64, "n": 64, "k": 64},
+        tile_loops=("i", "j", "k"),
+        check_sizes={"m": 8, "n": 8, "k": 8},
+        grid=WSE2_GRID,
     )
 )
 

@@ -14,7 +14,14 @@ calibrated only loosely; DESIGN.md and EXPERIMENTS.md document the
 substitution.
 """
 
-from repro.machine.spec import GPUSpec, CPUSpec, GEFORCE_8800_GTX, REFERENCE_CPU
+from repro.machine.spec import (
+    GPUSpec,
+    CPUSpec,
+    GridSpec,
+    GEFORCE_8800_GTX,
+    REFERENCE_CPU,
+    WSE2_GRID,
+)
 from repro.machine.memory import MemoryModel
 from repro.machine.gpu import BlockWorkload, KernelLaunch, GPUPerformanceModel
 from repro.machine.cpu import CPUWorkload, CPUPerformanceModel
@@ -23,8 +30,10 @@ from repro.machine.executor import SimulationReport, simulate_gpu, simulate_cpu
 __all__ = [
     "GPUSpec",
     "CPUSpec",
+    "GridSpec",
     "GEFORCE_8800_GTX",
     "REFERENCE_CPU",
+    "WSE2_GRID",
     "MemoryModel",
     "BlockWorkload",
     "KernelLaunch",

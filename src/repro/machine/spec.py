@@ -81,5 +81,61 @@ class CPUSpec:
         return self.clock_ghz * 1000.0
 
 
+@dataclass(frozen=True)
+class GridSpec:
+    """A P×P grid of processing elements behind one host link.
+
+    Models the wafer-scale-style fabric of the pipelined SUMMA GEMM
+    experiments (SNIPPETS.md Snippet 3): a square mesh of PEs with small
+    private memories, nearest-neighbour fabric links, and a single host
+    link that every H2D broadcast and D2H gather must cross.  The link
+    parameters are calibrated so the modelled collective bandwidths land
+    on the measured ones — broadcast H2D ≈ 0.868 words/cycle and gather
+    D2H ≈ 0.298 words/cycle for the 4×4 / 14³ configuration — with the
+    asymmetry coming entirely from :attr:`host_contention_penalty`
+    (gathers collect from every PE through one serialising host port,
+    broadcasts inject once and fan out on the fabric).
+
+    ``grid_p`` is the *fabric* dimension; a tuning configuration may map
+    onto any sub-grid ``p × p`` with ``p <= grid_p``.
+    """
+
+    name: str = "WSE-2 subgrid (modelled)"
+    #: fabric dimension — the machine exposes ``grid_p × grid_p`` PEs
+    grid_p: int = 16
+    #: PE clock in GHz (WSE-2 style fabric clock)
+    clock_ghz: float = 0.85
+    #: bytes per word moved on the fabric (f32)
+    word_bytes: int = 4
+    #: private memory per PE in bytes (48 KB on WSE-2)
+    pe_memory_bytes: int = 48 * 1024
+    #: cycles per multiply-accumulate on one PE
+    compute_cycles_per_mac: float = 1.0
+    #: fixed loop/setup overhead per local compute sub-tile, in cycles
+    loop_overhead_cycles: float = 32.0
+
+    # -- calibrated link parameters (see repro.distmodel.links) ---------------
+    #: raw host→device injection bandwidth, words per cycle
+    h2d_words_per_cycle: float = 0.9
+    #: raw device→host drain bandwidth, words per cycle (before contention)
+    d2h_words_per_cycle: float = 0.9
+    #: nearest-neighbour fabric link bandwidth, words per cycle
+    fabric_words_per_cycle: float = 1.0
+    #: latency of one fabric hop, in cycles
+    hop_latency_cycles: float = 64.0
+    #: fractional per-word slowdown added per *extra* concurrent sender on
+    #: the device→host path (serialised host collection)
+    host_contention_penalty: float = 0.13
+
+    @property
+    def num_pes(self) -> int:
+        return self.grid_p * self.grid_p
+
+    @property
+    def cycles_per_us(self) -> float:
+        return self.clock_ghz * 1000.0
+
+
 GEFORCE_8800_GTX = GPUSpec()
 REFERENCE_CPU = CPUSpec()
+WSE2_GRID = GridSpec()

@@ -99,8 +99,9 @@ def render_dashboard(
             trend_rows.append(
                 [
                     html.escape(key[0]),
-                    html.escape(key[1]),
+                    html.escape(key[1] or "—"),
                     html.escape(key[2]),
+                    html.escape(key[3]),
                     str(len(ordered)),
                     _fmt_ms(min(times)),
                     _fmt_ms(times[-1]),
@@ -109,8 +110,8 @@ def render_dashboard(
                 ]
             )
         lines += _table(
-            ["kernel", "spec", "backend", "runs", "best ms", "last ms", "ρ̄",
-             "trend (old → new)"],
+            ["kernel", "variant", "spec", "backend", "runs", "best ms", "last ms",
+             "ρ̄", "trend (old → new)"],
             trend_rows,
         )
     else:

@@ -57,7 +57,7 @@ def format_stage_counts(stages: Mapping[str, int]) -> str:
 from repro.core.options import MappingOptions
 from repro.ir.program import Program
 from repro.kernels.registry import TunableKernel, get_kernel
-from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
+from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec, GridSpec
 from repro.autotune.backends import parse_backend_uri
 from repro.autotune.search import STRATEGIES
 from repro.autotune.session import tuning_fingerprint
@@ -226,6 +226,7 @@ class TuneRequest:
             check_correctness=self.check_correctness,
             check_program=check_program,
             backend=self.backend,
+            grid=kernel.grid,
         )
         return ResolvedRequest(
             request=self,
@@ -236,6 +237,7 @@ class TuneRequest:
             check_program=check_program,
             spec=spec,
             fingerprint=key,
+            grid=kernel.grid,
         )
 
 
@@ -251,6 +253,8 @@ class ResolvedRequest:
     check_program: Optional[Program]
     spec: GPUSpec
     fingerprint: str
+    #: PE-grid target of a distributed kernel family (``None`` otherwise)
+    grid: Optional["GridSpec"] = None
 
 
 @dataclass

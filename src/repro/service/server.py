@@ -219,6 +219,12 @@ class TuningService:
                         seed=int(stored.get("seed", 0)),
                         source="server",
                         job_id=job.id,
+                        variant=(
+                            f"{resolved.grid.grid_p}x{resolved.grid.grid_p}"
+                            f":{resolved.grid.name}"
+                            if resolved.grid is not None
+                            else ""
+                        ),
                     )
                 )
                 emit(

@@ -86,6 +86,7 @@ def execute_request(
                 check_program=resolved.check_program,
                 backend=request.backend,
                 artifact_cache=True if reuse_artifacts else None,
+                grid=resolved.grid,
             )
     finally:
         if collector is not None:

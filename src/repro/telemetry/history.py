@@ -12,7 +12,9 @@ lines skipped and counted, a truncated final line left pending).
 On top of the raw records sit the analysis helpers the ``python -m
 repro.autotune history`` subcommands and the server's ``/dashboard`` render:
 
-* :func:`rollup` — per-(kernel, spec, backend) percentile summaries;
+* :func:`rollup` — per-(kernel, variant, spec, backend) percentile summaries
+  (``variant`` holds family parameters such as a distributed kernel's grid
+  target, so kernel families never collapse into one group);
 * :func:`compare_windows` — the last-N window of each group against all of
   its prior records;
 * :func:`check_history` — the **regression sentinel**: flags any group whose
@@ -101,6 +103,12 @@ class HistoryRecord:
     source: str = "autotune"
     #: service job id, when the request ran through the tuning server
     job_id: Optional[str] = None
+    #: family parameters that are part of the *kernel identity* (e.g. a
+    #: distributed kernel's grid target, ``"16x16:WSE-2 subgrid"``); empty
+    #: for single-device kernels.  Part of :meth:`group_key`, so kernel
+    #: families with different family parameters never collapse into one
+    #: regression group.
+    variant: str = ""
     ts: float = field(default_factory=time.time)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -123,6 +131,7 @@ class HistoryRecord:
             "seed": self.seed,
             "source": self.source,
             "job_id": self.job_id,
+            "variant": self.variant,
         }
 
     @classmethod
@@ -145,17 +154,21 @@ class HistoryRecord:
             seed=int(payload.get("seed", 0)),
             source=str(payload.get("source", "autotune")),
             job_id=payload.get("job_id"),
+            variant=str(payload.get("variant", "")),
             ts=float(payload.get("ts", 0.0)),
         )
 
-    def group_key(self) -> Tuple[str, str, str]:
-        """The rollup/windowing identity: same kernel, machine, and backend.
+    def group_key(self) -> Tuple[str, str, str, str]:
+        """The rollup/windowing identity: kernel, variant, machine, backend.
 
         Deliberately *not* the full fingerprint: a tuning-space or strategy
         change still tunes the same problem, and the sentinel's whole job is
-        to notice when such a change made the answer worse.
+        to notice when such a change made the answer worse.  ``variant``
+        *is* included: family parameters like a distributed kernel's grid
+        target change what problem is being tuned, so two variants must
+        never share one regression baseline.
         """
-        return (self.kernel, self.spec_name, self.backend)
+        return (self.kernel, self.variant, self.spec_name, self.backend)
 
 
 class HistoryStore:
@@ -260,9 +273,9 @@ def open_history(
 # -- analysis ----------------------------------------------------------------------
 def group_records(
     records: Sequence[HistoryRecord],
-) -> Dict[Tuple[str, str, str], List[HistoryRecord]]:
+) -> Dict[Tuple[str, str, str, str], List[HistoryRecord]]:
     """Records bucketed by :meth:`HistoryRecord.group_key`, order preserved."""
-    groups: Dict[Tuple[str, str, str], List[HistoryRecord]] = {}
+    groups: Dict[Tuple[str, str, str, str], List[HistoryRecord]] = {}
     for record in records:
         groups.setdefault(record.group_key(), []).append(record)
     return groups
@@ -287,8 +300,9 @@ def rollup(records: Sequence[HistoryRecord]) -> List[Dict[str, Any]]:
         rows.append(
             {
                 "kernel": key[0],
-                "spec": key[1],
-                "backend": key[2],
+                "variant": key[1],
+                "spec": key[2],
+                "backend": key[3],
                 "requests": len(group),
                 "cache_hits": sum(1 for r in group if r.cache_hit),
                 "best_ms": min(times),
@@ -331,8 +345,9 @@ def compare_windows(
         prior_tuned = [r for r in prior if not r.cache_hit]
         row: Dict[str, Any] = {
             "kernel": key[0],
-            "spec": key[1],
-            "backend": key[2],
+            "variant": key[1],
+            "spec": key[2],
+            "backend": key[3],
             "window": len(current),
             "prior": len(prior),
             "current_best_ms": current_best,
