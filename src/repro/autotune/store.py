@@ -20,8 +20,11 @@ path, the locking granularity, and the prune semantics are properties of a
     unlinks individual files, so it is prune-safe by construction.
 ``log:PATH`` (or ``PATH.jsonl`` / ``PATH.log``)
     :class:`AppendLogStore` — append-only JSONL with an in-memory offset
-    index, size-triggered compaction and crash-truncated-tail recovery, for
-    high-churn server workloads.
+    index, crash-truncated-tail recovery, and size-triggered *rotation* into
+    immutable sealed segments that a background merge folds without ever
+    blocking appends, for high-churn server workloads.  Sealed segments can
+    be shipped between servers and ingested on the other side (the fleet
+    replication primitive).
 
 ``open_store`` maps a URI/path to a backend, ``migrate_store`` converts any
 backend into any other preserving insertion order (``prune``'s notion of
@@ -44,7 +47,7 @@ import tempfile
 import time
 import warnings
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 try:
     import fcntl
@@ -117,6 +120,88 @@ def _locked(lock_path: Path):
             yield
         finally:
             fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+@contextlib.contextmanager
+def _locked_stale(
+    lock_path: Path,
+    stale_after: Optional[float] = None,
+    poll_interval: float = 0.05,
+    on_takeover=None,
+):
+    """Like :func:`_locked`, but with age-based stale-lock takeover.
+
+    ``flock`` held by a *dead process on the same host* releases itself, but
+    on a multi-server NFS mount a peer that died (or lost its mount) can
+    leave the advisory lock wedged — every other server then waits forever.
+    With ``stale_after`` set, a contender that cannot acquire the lock and
+    finds the sidecar file untouched for longer than ``stale_after`` seconds
+    *takes it over*: the sidecar is unlinked and a fresh one created, so the
+    dead peer's lock keeps only its orphaned inode.  Holders freshen the
+    sidecar's mtime at acquisition, and critical sections are sub-second
+    writes, so a live-but-slow peer is only at risk if it holds the lock
+    longer than ``stale_after`` — pick it orders of magnitude above the
+    section length (the :class:`ShardedStore` default is 30s for
+    millisecond-scale sections).
+
+    ``stale_after=None`` degrades to exactly :func:`_locked`.
+    """
+    if stale_after is None:
+        with _locked(lock_path):
+            yield
+        return
+    if fcntl is None:
+        _warn_unlocked_writes()
+        yield
+        return
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    while True:
+        handle = open(lock_path, "a")
+        try:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                handle.close()
+                # Contended: a live holder refreshed the sidecar's mtime when
+                # it acquired; one older than stale_after marks a dead peer.
+                try:
+                    age = time.time() - lock_path.stat().st_mtime
+                except OSError:
+                    continue  # holder released and removed it — retry now
+                if age > stale_after:
+                    try:
+                        lock_path.unlink()
+                    except OSError:
+                        pass
+                    if on_takeover is not None:
+                        on_takeover()
+                else:
+                    time.sleep(poll_interval)
+                continue
+            # Acquired — but only the *current* sidecar counts: another
+            # contender may have taken the file over between our open and
+            # flock, leaving us locked on an orphaned inode.
+            try:
+                current_ino = lock_path.stat().st_ino
+            except OSError:
+                current_ino = None
+            if current_ino != os.fstat(handle.fileno()).st_ino:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+                handle.close()
+                continue
+            os.utime(handle.fileno())  # freshen: we are a live holder
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+                handle.close()
+            return
+        except BaseException:
+            try:
+                handle.close()
+            except OSError:
+                pass
+            raise
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
@@ -421,6 +506,12 @@ class ShardedStore(CacheStore):
     only its own file.  Insertion order is a monotonic per-entry ``seq``
     stamped into each file (wall-clock nanoseconds, forced strictly
     increasing within a process), which ``scan``/``prune`` sort by.
+
+    Liveness on multi-server NFS mounts: every sidecar lock is taken with
+    age-based stale takeover (see :func:`_locked_stale`) — a peer server
+    that died mid-write cannot wedge a shard forever.  ``stale_after``
+    tunes the takeover age (seconds; ``None`` restores wait-forever);
+    takeovers are counted in ``stats()["lock_takeovers"]``.
     """
 
     backend = "sharded"
@@ -428,8 +519,17 @@ class ShardedStore(CacheStore):
     #: root marker file naming the layout version
     META_NAME = "store.json"
 
-    def __init__(self, root: StorePath) -> None:
+    #: seconds of sidecar-lock silence before a contender takes it over —
+    #: several orders of magnitude above the millisecond-scale critical
+    #: sections, so only a dead peer's lock is ever stolen
+    DEFAULT_STALE_AFTER = 30.0
+
+    def __init__(
+        self, root: StorePath, stale_after: Optional[float] = DEFAULT_STALE_AFTER
+    ) -> None:
         self.path = Path(root)
+        self.stale_after = stale_after
+        self._lock_takeovers = 0
         self._last_seq = 0
         meta_path = self.path / self.META_NAME
         if meta_path.exists():
@@ -466,6 +566,16 @@ class ShardedStore(CacheStore):
         self._last_seq = max(time.time_ns(), self._last_seq + 1)
         return self._last_seq
 
+    def _note_takeover(self) -> None:
+        self._lock_takeovers += 1
+
+    def _shard_lock(self, lock_path: Path):
+        return _locked_stale(
+            lock_path,
+            stale_after=self.stale_after,
+            on_takeover=self._note_takeover,
+        )
+
     def _shard_dirs(self) -> Iterator[Path]:
         if not self.path.is_dir():
             return
@@ -500,7 +610,7 @@ class ShardedStore(CacheStore):
         self._ensure_meta()
         # The rename is already atomic; the shard lock additionally orders a
         # put against a concurrent prune unlinking the same entry.
-        with _locked(entry_path.parent / ".lock"):
+        with self._shard_lock(entry_path.parent / ".lock"):
             # A re-put keeps its original seq: like the dict-backed formats,
             # updating an entry must not refresh its insertion position (the
             # only file read is this entry's own — puts stay O(1)).
@@ -526,13 +636,13 @@ class ShardedStore(CacheStore):
             yield key, dict(record["value"])
 
     def prune(self, max_entries: int) -> int:
-        with _locked(self.path / ".lock"):
+        with self._shard_lock(self.path / ".lock"):
             records = self._sorted_records()
             drop = len(records) - max_entries
             if drop <= 0:
                 return 0
             for _seq, _key, record, entry_path in records[:drop]:
-                with _locked(entry_path.parent / ".lock"):
+                with self._shard_lock(entry_path.parent / ".lock"):
                     try:
                         entry_path.unlink()
                     except OSError:
@@ -559,13 +669,14 @@ class ShardedStore(CacheStore):
             "entries": entries,
             "bytes": size,
             "shards": shards,
+            "lock_takeovers": self._lock_takeovers,
         }
 
     def compact(self) -> Dict[str, Any]:
         """Sweep stray temp files and now-empty shard directories."""
         removed_tmp = 0
         removed_dirs = 0
-        with _locked(self.path / ".lock"):
+        with self._shard_lock(self.path / ".lock"):
             for shard in list(self._shard_dirs()):
                 for stray in shard.glob("*.tmp"):
                     try:
@@ -588,7 +699,7 @@ class ShardedStore(CacheStore):
         return {"tmp_files_removed": removed_tmp, "empty_shards_removed": removed_dirs}
 
     def clear(self) -> None:
-        with _locked(self.path / ".lock"):
+        with self._shard_lock(self.path / ".lock"):
             for entry_path in list(self._entry_files()):
                 try:
                     entry_path.unlink()
@@ -603,26 +714,44 @@ class ShardedStore(CacheStore):
 
 
 class AppendLogStore(CacheStore):
-    """Append-only JSONL log with an in-memory index and auto-compaction.
+    """Append-only JSONL log with sealed segments and an in-memory index.
 
     Every mutation is one appended line — ``{"op": "put", ...}`` or
-    ``{"op": "del", ...}`` — written under the exclusive log lock, so a put
-    costs O(1) regardless of how many entries the log holds.  Readers replay
-    only the *tail* they have not seen (tracked by byte offset and inode, so
-    a compaction by another process triggers a clean full re-replay).
+    ``{"op": "del", ...}`` — written to the *active* file under the
+    exclusive append lock, so a put costs O(1) regardless of how many
+    entries the log holds.  Readers replay only the *tail* they have not
+    seen (tracked by byte offset and inode); a change to the sealed
+    segment set or a new active inode triggers a clean full re-replay.
+
+    Growth control is split into a cheap half and an expensive half so the
+    expensive half never blocks writers:
+
+    * **rotation** (cheap, under the append lock): once the active file
+      outgrows ``auto_compact_bytes`` with enough dead records, it is
+      *renamed* to an immutable sealed segment ``NAME.NNNNNN.seg`` and a
+      fresh active file starts.  The rename is the entire cost.
+    * **sealed merge** (expensive, under the *segment* lock only): sealed
+      segments are folded into one.  Replaying the merged segment yields
+      exactly the same state as replaying the originals in order, so a
+      reader holding a stale segment list simply re-replays and converges.
+      Appends keep flowing while the merge runs — :meth:`compact_sealed`
+      never touches the active file.  Lock order is append → segment.
+
+    Sealed segments double as the fleet replication primitive: being
+    immutable, a ``.seg`` file can be shipped to a peer server verbatim and
+    applied there with :meth:`ingest_segment` (local entries always win).
 
     Recovery rules make a crash-truncated tail harmless: a final chunk
     without a newline is left pending (re-examined on the next replay, and
     terminated by the next writer before it appends), and any complete line
     that fails to parse is skipped and counted, never fatal.
-
-    Compaction rewrites the log as one put line per live entry — in
-    insertion order, preserving ``prune`` semantics — and is triggered
-    automatically when the log exceeds ``auto_compact_bytes`` *and* dead
-    records outnumber live entries ``auto_compact_ratio`` times over.
     """
 
     backend = "log"
+
+    #: sealed segments accumulated before an automatic merge folds them;
+    #: 2 keeps total sealed bytes within ~1 rotation of the fold size
+    AUTO_MERGE_SEGMENTS = 2
 
     def __init__(
         self,
@@ -636,9 +765,11 @@ class AppendLogStore(CacheStore):
         self._entries: Dict[str, Dict[str, Any]] = {}
         self._offset = 0
         self._ino: Optional[int] = None
+        self._sealed_seen: Tuple[str, ...] = ()
         self._dead_records = 0
         self._corrupt_lines = 0
         self._compactions = 0
+        self._rotations = 0
         self._replay()
 
     @property
@@ -647,6 +778,13 @@ class AppendLogStore(CacheStore):
 
     def _lock_path(self) -> Path:
         return self.path.with_name(self.path.name + ".lock")
+
+    def _seg_lock_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".seglock")
+
+    def _sealed_paths(self) -> List[Path]:
+        """The sealed segment files, in replay (name) order."""
+        return sorted(self.path.parent.glob(f"{self.path.name}.*.seg"))
 
     def _reset(self) -> None:
         self._entries = {}
@@ -670,23 +808,8 @@ class AppendLogStore(CacheStore):
         else:
             self._corrupt_lines += 1
 
-    def _replay(self) -> None:
-        """Catch the in-memory index up with the log's unseen tail."""
-        try:
-            stat = self.path.stat()
-        except OSError:
-            self._reset()
-            self._ino = None
-            return
-        if stat.st_ino != self._ino or stat.st_size < self._offset:
-            # Compacted (new inode) or truncated underneath us: start over.
-            self._reset()
-            self._ino = stat.st_ino
-        if stat.st_size == self._offset:
-            return
-        with open(self.path, "rb") as handle:
-            handle.seek(self._offset)
-            chunk = handle.read()
+    def _consume_lines(self, chunk: bytes) -> int:
+        """Apply every complete line in ``chunk``; returns bytes consumed."""
         consumed = 0
         while True:
             newline = chunk.find(b"\n", consumed)
@@ -705,43 +828,238 @@ class AppendLogStore(CacheStore):
                 self._apply(record)
             else:
                 self._corrupt_lines += 1
-        self._offset += consumed
+        return consumed
+
+    def _replay(self) -> None:
+        """Catch the in-memory index up with the segments + active tail."""
+        sealed = tuple(path.name for path in self._sealed_paths())
+        try:
+            stat = self.path.stat()
+        except OSError:
+            stat = None
+        active_replaced = stat is not None and (
+            stat.st_ino != self._ino or stat.st_size < self._offset
+        )
+        active_vanished = stat is None and (
+            self._ino is not None or self._offset > 0
+        )
+        if sealed != self._sealed_seen or active_replaced or active_vanished:
+            # Rotated/merged/compacted by someone else (or first sight of
+            # the log): start over — sealed segments fully, then the active
+            # file from byte 0.  If a concurrent merge deletes a segment
+            # mid-replay we may apply a stale mix, but the merged segment is
+            # exactly the fold of the originals, so the *next* replay (which
+            # will see a changed sealed set again) converges.
+            self._reset()
+            self._sealed_seen = sealed
+            for segment in self._sealed_paths():
+                try:
+                    data = segment.read_bytes()
+                except OSError:
+                    continue
+                if data and not data.endswith(b"\n"):
+                    data += b"\n"  # sealed mid-crash: last line still counts
+                self._consume_lines(data)
+            self._ino = stat.st_ino if stat is not None else None
+        if stat is None or stat.st_size == self._offset:
+            return
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+        self._offset += self._consume_lines(chunk)
+
+    def _write_locked(self, records: Sequence[Dict[str, Any]]) -> int:
+        """Append records to the active file; caller holds the append lock.
+
+        Tail-terminating: a crash-torn partial final line is closed with a
+        newline first, so it stays one skippable corrupt line instead of
+        fusing with our record.  Returns the active file size afterwards.
+        """
+        payload = b"".join(
+            json.dumps(record, separators=(",", ":")).encode("utf-8") + b"\n"
+            for record in records
+        )
+        needs_newline = False
+        try:
+            with open(self.path, "rb") as peek:
+                peek.seek(-1, os.SEEK_END)
+                needs_newline = peek.read(1) != b"\n"
+        except (OSError, ValueError):
+            needs_newline = False  # missing or empty file
+        with open(self.path, "ab") as handle:
+            if needs_newline:
+                handle.write(b"\n")
+            handle.write(payload)
+            handle.flush()
+            size = handle.tell()
+        for record in records:
+            self._apply(record)
+        # Our records are the last consumed lines; the whole file is now
+        # processed, so the replay offset can jump straight to the end.
+        self._offset = size
+        if self._ino is None:
+            self._ino = self.path.stat().st_ino
+        return size
 
     def _append(self, record: Dict[str, Any]) -> None:
-        """One record line, under the log lock, tail-terminating if needed."""
-        line = json.dumps(record, separators=(",", ":")).encode("utf-8") + b"\n"
+        """One record line under the append lock; rotation when oversized."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        merge_due = False
         with _locked(self._lock_path()):
             self._replay()
-            needs_newline = False
-            try:
-                with open(self.path, "rb") as peek:
-                    peek.seek(-1, os.SEEK_END)
-                    needs_newline = peek.read(1) != b"\n"
-            except (OSError, ValueError):
-                needs_newline = False  # missing or empty file
-            with open(self.path, "ab") as handle:
-                if needs_newline:
-                    # A crash left a partial final line: terminate it so it
-                    # becomes one skippable corrupt line instead of fusing
-                    # with our record.
-                    handle.write(b"\n")
-                handle.write(line)
-                handle.flush()
-                size = handle.tell()
-            self._apply(record)
-            # Our record is the last consumed line; any terminated partial
-            # tail before it was just counted as corrupt by _apply's replay
-            # predecessor, so the whole file is now processed.
-            self._offset = size
-            if self._ino is None:
-                self._ino = self.path.stat().st_ino
+            size = self._write_locked([record])
             if (
                 size >= self.auto_compact_bytes
                 and self._dead_records
                 >= self.auto_compact_ratio * max(1, len(self._entries))
             ):
-                self._compact_locked()
+                self._rotate_locked()
+                merge_due = len(self._sealed_seen) >= self.AUTO_MERGE_SEGMENTS
+        if merge_due:
+            # Outside the append lock on purpose: the merge is the expensive
+            # half and must not serialise against other writers.
+            self.compact_sealed()
+
+    def _rotate_locked(self) -> Optional[Path]:
+        """Seal the active file as a new segment; caller holds append lock."""
+        try:
+            if self.path.stat().st_size == 0:
+                return None
+        except OSError:
+            return None
+        numbers = [0]
+        for segment in self._sealed_paths():
+            part = segment.name[len(self.path.name) + 1 : -len(".seg")]
+            if part.isdigit():
+                numbers.append(int(part))
+        target = self.path.with_name(
+            f"{self.path.name}.{max(numbers) + 1:06d}.seg"
+        )
+        os.replace(self.path, target)
+        self._sealed_seen = tuple(path.name for path in self._sealed_paths())
+        self._offset = 0
+        self._ino = None
+        self._rotations += 1
+        return target
+
+    def rotate(self) -> Optional[Path]:
+        """Seal the current active file; returns the new segment's path.
+
+        ``None`` when there is nothing to seal.  The rename is the entire
+        cost — no data is rewritten, so writers are blocked only for the
+        duration of one directory operation.
+        """
+        with _locked(self._lock_path()):
+            self._replay()
+            return self._rotate_locked()
+
+    @staticmethod
+    def _fold_segment_lines(data: bytes, folded: Dict[str, Dict[str, Any]]) -> None:
+        """Apply one segment's records onto ``folded`` (put/del/clear only)."""
+        for raw in data.splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue
+            if not isinstance(record, dict):
+                continue
+            op = record.get("op")
+            if op == "put" and "key" in record and isinstance(record.get("value"), dict):
+                folded[str(record["key"])] = dict(record["value"])
+            elif op == "del" and "key" in record:
+                folded.pop(str(record["key"]), None)
+            elif op == "clear":
+                folded.clear()
+
+    def compact_sealed(self) -> Dict[str, Any]:
+        """Fold every sealed segment into one; never touches the active file.
+
+        Holds only the segment lock, so appends (append lock) proceed
+        concurrently — this is the "compaction never blocks appends" half of
+        the growth story.  The merged segment atomically replaces the
+        lowest-numbered one; higher segments are then unlinked.  Replaying
+        the merged segment yields exactly the fold of the originals, so any
+        reader observes either the old set, the new set, or a stale mix that
+        its next replay converges away.
+        """
+        with _locked(self._seg_lock_path()):
+            segments = self._sealed_paths()
+            before = 0
+            for segment in segments:
+                try:
+                    before += segment.stat().st_size
+                except OSError:
+                    pass
+            if len(segments) < 2:
+                return {
+                    "segments_merged": 0,
+                    "bytes_before": before,
+                    "bytes_after": before,
+                }
+            folded: Dict[str, Dict[str, Any]] = {}
+            for segment in segments:
+                try:
+                    self._fold_segment_lines(segment.read_bytes(), folded)
+                except OSError:
+                    continue
+            text = "".join(
+                json.dumps(
+                    {"op": "put", "key": key, "value": value},
+                    separators=(",", ":"),
+                )
+                + "\n"
+                for key, value in folded.items()
+            )
+            _atomic_write_text(segments[0], text)
+            for segment in segments[1:]:
+                try:
+                    segment.unlink()
+                except OSError:
+                    pass
+            self._compactions += 1
+            try:
+                after = segments[0].stat().st_size
+            except OSError:
+                after = 0
+        # _sealed_seen is now stale on purpose: the next _replay notices the
+        # changed sealed set and re-replays, refreshing dead-record counts.
+        return {
+            "segments_merged": len(segments),
+            "bytes_before": before,
+            "bytes_after": after,
+        }
+
+    def ingest_segment(self, segment: StorePath) -> int:
+        """Apply a peer's sealed segment; returns the entries adopted.
+
+        The replication receive side: every entry the segment's fold holds
+        for a key absent locally is appended as a local put.  Local entries
+        always win — the home server's result for a fingerprint is
+        authoritative, a shipped segment only fills gaps.
+        """
+        segment = Path(segment)
+        try:
+            data = segment.read_bytes()
+        except OSError as error:
+            raise ValueError(f"cannot read segment {segment}: {error}") from None
+        incoming: Dict[str, Dict[str, Any]] = {}
+        self._fold_segment_lines(data, incoming)
+        if not incoming:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with _locked(self._lock_path()):
+            self._replay()
+            records = [
+                {"op": "put", "key": key, "value": value}
+                for key, value in incoming.items()
+                if key not in self._entries
+            ]
+            if records:
+                self._write_locked(records)
+        return len(records)
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         value = self._entries.get(key)
@@ -771,27 +1089,45 @@ class AppendLogStore(CacheStore):
             return drop
 
     def _compact_locked(self) -> None:
-        """Rewrite the log as the live entries only; caller holds the lock."""
-        lines = [
-            json.dumps({"op": "put", "key": key, "value": value}, separators=(",", ":"))
-            for key, value in self._entries.items()
-        ]
-        text = "".join(line + "\n" for line in lines)
-        _atomic_write_text(self.path, text)
-        self._offset = len(text.encode("utf-8"))
-        self._ino = self.path.stat().st_ino
-        self._dead_records = 0
-        self._corrupt_lines = 0
-        self._compactions += 1
+        """Fold everything — sealed + active — into a fresh active file.
+
+        Caller holds the append lock; the segment lock is taken inside
+        (append → segment is the global lock order).  This is the one
+        stop-the-world operation, reserved for explicit ``compact``,
+        ``prune`` and ``clear``; routine growth control goes through
+        rotation plus :meth:`compact_sealed` instead.
+        """
+        with _locked(self._seg_lock_path()):
+            lines = [
+                json.dumps(
+                    {"op": "put", "key": key, "value": value},
+                    separators=(",", ":"),
+                )
+                for key, value in self._entries.items()
+            ]
+            text = "".join(line + "\n" for line in lines)
+            _atomic_write_text(self.path, text)
+            for segment in self._sealed_paths():
+                try:
+                    segment.unlink()
+                except OSError:
+                    pass
+            self._sealed_seen = ()
+            self._offset = len(text.encode("utf-8"))
+            self._ino = self.path.stat().st_ino
+            self._dead_records = 0
+            self._corrupt_lines = 0
+            self._compactions += 1
 
     def compact(self) -> Dict[str, Any]:
         with _locked(self._lock_path()):
             self._replay()
             before = 0
-            try:
-                before = self.path.stat().st_size
-            except OSError:
-                pass
+            for target in [self.path, *self._sealed_paths()]:
+                try:
+                    before += target.stat().st_size
+                except OSError:
+                    pass
             self._compact_locked()
             after = self.path.stat().st_size
         return {"bytes_before": before, "bytes_after": after}
@@ -803,11 +1139,19 @@ class AppendLogStore(CacheStore):
             size = self.path.stat().st_size
         except OSError:
             size = 0
+        sealed_bytes = 0
+        for segment in self._sealed_paths():
+            try:
+                sealed_bytes += segment.stat().st_size
+            except OSError:
+                pass
         return {
             "backend": self.backend,
             "entries": len(self._entries),
-            "bytes": size,
-            "segments": 1,  # one active segment; compaction rewrites in place
+            "bytes": size + sealed_bytes,
+            "segments": 1 + len(self._sealed_seen),
+            "sealed_bytes": sealed_bytes,
+            "rotations": self._rotations,
             "dead_records": self._dead_records,
             "corrupt_lines": self._corrupt_lines,
             "compactions": self._compactions,

@@ -1,0 +1,199 @@
+"""A priority-aware front to the tuning worker pool.
+
+The bare executor-submit path is FIFO: one giant cold sweep submitted first
+starves every small warm probe behind it.  :class:`PriorityExecutor` keeps
+the pool itself (process or thread) but owns the *queue*: at most
+``max_workers`` tasks are in the pool at once, and when a slot frees the
+cheapest-highest-priority queued task runs next, not the oldest.
+
+Rank is ``(priority class, estimated cost, arrival)``: an explicit request
+class (``high`` < ``normal`` < ``low``) first, the estimated size of the
+configuration sweep second (small probes overtake giant sweeps *within* a
+class), submission order last — equal work stays FIFO, so nothing starves
+forever behind a stream of equal-rank arrivals.
+
+Queue depth per class is published as ``repro_fleet_queue_depth{priority}``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from functools import partial
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.telemetry import METRICS
+
+__all__ = [
+    "PRIORITY_CLASSES",
+    "PriorityExecutor",
+    "PriorityItem",
+    "space_cost_estimate",
+]
+
+#: request priority classes, most urgent first (the wire values of
+#: ``TuneRequest.priority``)
+PRIORITY_CLASSES = ("high", "normal", "low")
+
+QUEUE_DEPTH = METRICS.gauge(
+    "repro_fleet_queue_depth",
+    "Tuning tasks queued behind the worker pool, by priority class.",
+    labels=("priority",),
+)
+
+
+def space_cost_estimate(space_options: Any) -> int:
+    """A cheap upper bound on a request's candidate sweep size.
+
+    The product of the space axes (threads x blocks x scratchpad choices x
+    tile vectors per geometry) — never a compile, so the scheduler can rank
+    a request at submission time.  ``None`` tile limits (exhaustive) rank as
+    a large constant: an unbounded sweep should never overtake a bounded one.
+    """
+    tiles = getattr(space_options, "tile_candidates_per_geometry", None)
+    tiles = 64 if tiles is None else max(1, int(tiles))
+    return (
+        max(1, len(getattr(space_options, "thread_counts", ()) or ()))
+        * max(1, len(getattr(space_options, "block_counts", ()) or ()))
+        * max(1, len(getattr(space_options, "scratchpad_choices", ()) or ()))
+        * tiles
+    )
+
+
+@dataclass(order=True)
+class PriorityItem:
+    """One queued task; orders by (class rank, cost, arrival)."""
+
+    rank: Tuple[int, int, int]
+    fn: Callable[[], Any] = field(compare=False)
+    future: Future = field(compare=False)
+    #: priority class label, kept for the queue-depth gauge
+    label: str = field(compare=False, default="normal")
+
+
+class PriorityExecutor:
+    """Wraps an executor so queued work runs in priority order.
+
+    Duck-compatible with the slice of ``concurrent.futures.Executor`` the
+    tuning service uses: ``submit`` returns a real :class:`Future` (so
+    ``running()``, ``add_done_callback`` and ``concurrent.futures.wait``
+    behave normally) and ``shutdown(cancel_futures=True)`` cancels queued
+    tasks.  The inner pool is still what executes — this class only decides
+    *which* task gets the next free slot.
+    """
+
+    def __init__(self, pool: Any, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers!r}")
+        self._pool = pool
+        self._max_workers = max_workers
+        # Reentrant: an inner future that is *already done* when
+        # add_done_callback registers runs _finish synchronously on the
+        # dispatching thread — i.e. while _dispatch_locked still holds this
+        # lock (observed with a broken pool failing futures at submission).
+        self._lock = threading.RLock()
+        self._heap: List[PriorityItem] = []
+        self._running = 0
+        self._seq = 0
+        self._shutdown = False
+
+    def submit(
+        self,
+        fn: Callable[[], Any],
+        priority: str = "normal",
+        cost: int = 0,
+    ) -> Future:
+        """Queue ``fn`` (a zero-argument callable); returns its future.
+
+        Raises like a shut-down executor would, and propagates the inner
+        pool's submission error (e.g. ``BrokenProcessPool``) when the task
+        dispatches immediately — the caller's error path stays identical to
+        the bare-pool one.
+        """
+        if priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"priority must be one of {PRIORITY_CLASSES}, got {priority!r}"
+            )
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("cannot schedule new futures after shutdown")
+            self._seq += 1
+            item = PriorityItem(
+                rank=(PRIORITY_CLASSES.index(priority), max(0, int(cost)), self._seq),
+                fn=fn,
+                future=Future(),
+                label=priority,
+            )
+            if self._running < self._max_workers:
+                self._dispatch_locked(item)
+            else:
+                heappush(self._heap, item)
+                QUEUE_DEPTH.add(1, priority=item.label)
+        return item.future
+
+    def _dispatch_locked(self, item: PriorityItem) -> None:
+        """Hand one task to the inner pool; caller holds the lock."""
+        item.future.set_running_or_notify_cancel()
+        try:
+            inner = self._pool.submit(item.fn)
+        except Exception:
+            self._drain_heap_locked()
+            raise
+        self._running += 1
+        inner.add_done_callback(partial(self._finish, item.future))
+
+    def _drain_heap_locked(self) -> None:
+        """The inner pool is broken: fail everything still queued, loudly."""
+        while self._heap:
+            queued = heappop(self._heap)
+            QUEUE_DEPTH.add(-1, priority=queued.label)
+            queued.future.set_running_or_notify_cancel()
+            queued.future.set_exception(
+                RuntimeError("worker pool broke before this task was scheduled")
+            )
+
+    def _finish(self, outer: Future, inner: Future) -> None:
+        with self._lock:
+            self._running -= 1
+            next_item: Optional[PriorityItem] = None
+            if self._heap and not self._shutdown and self._running < self._max_workers:
+                next_item = heappop(self._heap)
+                QUEUE_DEPTH.add(-1, priority=next_item.label)
+        # Transfer the result outside the lock: the outer future's done
+        # callbacks (the service's _finish) run synchronously here.
+        error = inner.exception()
+        if error is not None:
+            outer.set_exception(error)
+        else:
+            outer.set_result(inner.result())
+        if next_item is not None:
+            with self._lock:
+                if self._shutdown:
+                    next_item.future.cancel()
+                else:
+                    try:
+                        self._dispatch_locked(next_item)
+                    except Exception as dispatch_error:
+                        next_item.future.set_exception(dispatch_error)
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Currently queued (not yet dispatched) tasks per priority class."""
+        with self._lock:
+            depths = {label: 0 for label in PRIORITY_CLASSES}
+            for item in self._heap:
+                depths[item.label] += 1
+            return depths
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        with self._lock:
+            self._shutdown = True
+            queued = list(self._heap) if cancel_futures else []
+            if cancel_futures:
+                for item in self._heap:
+                    QUEUE_DEPTH.add(-1, priority=item.label)
+                self._heap.clear()
+        for item in queued:
+            item.future.cancel()
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)

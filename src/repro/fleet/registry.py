@@ -1,0 +1,144 @@
+"""Fleet membership and the ``/tune`` routing policy.
+
+A :class:`FleetRegistry` is what a server knows about its fleet: the member
+node ids (their normalised base URLs), which of them is *this* server, and
+what to do with a request whose fingerprint is homed elsewhere:
+
+``redirect``
+    Answer ``307 Temporary Redirect`` with the home server's ``/tune`` URL.
+    Cheapest for the non-home server; the client re-POSTs the identical body
+    (307 preserves method and body by definition — the stdlib client in
+    :mod:`repro.service.client` handles this, since ``urllib`` refuses to
+    follow redirected POSTs on its own).
+
+``proxy``
+    Forward the request to the home server over HTTP and relay its response
+    verbatim.  One extra hop, but clients never need to know the fleet
+    exists — a load balancer can spray ``/tune`` at any member.
+
+Membership is static configuration (the ``serve --peers`` list).  Every
+member derives the identical ring from the identical list, so no agreement
+protocol is needed; the registry is a pure function of its config, which is
+exactly what makes the fleet-wide exactly-once property auditable.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.fleet.ring import HashRing
+
+__all__ = ["FLEET_MODES", "FleetRegistry", "normalize_url"]
+
+#: what a non-home server does with a /tune whose fingerprint lives elsewhere
+FLEET_MODES = ("redirect", "proxy")
+
+
+def normalize_url(url: str) -> str:
+    """Canonical node id for a server base URL (scheme defaulted, no slash).
+
+    Every member must normalise peer URLs identically or their rings — and
+    therefore their notion of "home" — would disagree.
+    """
+    if not isinstance(url, str) or not url.strip():
+        raise ValueError(f"fleet member URL must be a non-empty string, got {url!r}")
+    url = url.strip().rstrip("/")
+    if "://" not in url:
+        url = "http://" + url
+    scheme, _, rest = url.partition("://")
+    return f"{scheme.lower()}://{rest}"
+
+
+class FleetRegistry:
+    """This server's view of the fleet: members, self, and routing mode."""
+
+    def __init__(
+        self,
+        self_url: str,
+        peers: Iterable[str],
+        mode: str = "redirect",
+        replicas: int = 128,
+    ) -> None:
+        if mode not in FLEET_MODES:
+            raise ValueError(f"fleet mode must be one of {FLEET_MODES}, got {mode!r}")
+        self.node_id = normalize_url(self_url)
+        members = {self.node_id}
+        for peer in peers:
+            members.add(normalize_url(peer))
+        self.mode = mode
+        self.ring = HashRing(sorted(members), replicas=replicas)
+
+    @property
+    def members(self) -> List[str]:
+        return self.ring.nodes
+
+    @property
+    def peers(self) -> List[str]:
+        """Every member except this server."""
+        return [node for node in self.ring.nodes if node != self.node_id]
+
+    def home(self, fingerprint: str) -> str:
+        return self.ring.home(fingerprint)
+
+    def is_home(self, fingerprint: str) -> bool:
+        return self.home(fingerprint) == self.node_id
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``fleet`` section of ``/healthz``."""
+        return {
+            "node": self.node_id,
+            "mode": self.mode,
+            "members": self.members,
+            "size": len(self.ring),
+        }
+
+    # -- proxying ----------------------------------------------------------------------
+    def forward_tune(
+        self,
+        home: str,
+        payload: Mapping[str, Any],
+        path: str = "/tune",
+        timeout: float = 600.0,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """POST ``payload`` to the home member; ``(status, parsed body)``.
+
+        Used by proxy mode.  The home's HTTP errors relay as-is (its 400 is
+        our 400); only an unreachable peer becomes a 502 so the client can
+        tell "your request is bad" from "the fleet is degraded".
+        """
+        body = json.dumps(dict(payload)).encode("utf-8")
+        request = urllib.request.Request(
+            home + path,
+            data=body,
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read().decode("utf-8", errors="replace")
+            try:
+                parsed = json.loads(raw)
+            except json.JSONDecodeError:
+                parsed = {"error": raw or f"peer returned {error.code}"}
+            return error.code, parsed
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            reason = getattr(error, "reason", error)
+            return 502, {"error": f"fleet peer {home} unreachable: {reason}"}
+
+    def poll_members(
+        self, timeout: float = 5.0
+    ) -> List[Tuple[str, Optional[Dict[str, Any]]]]:
+        """Each member's ``/healthz`` payload (``None`` when unreachable)."""
+        results: List[Tuple[str, Optional[Dict[str, Any]]]] = []
+        for member in self.members:
+            try:
+                with urllib.request.urlopen(member + "/healthz", timeout=timeout) as resp:
+                    results.append((member, json.loads(resp.read().decode("utf-8"))))
+            except (urllib.error.URLError, OSError, ValueError):
+                results.append((member, None))
+        return results

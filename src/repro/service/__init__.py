@@ -9,16 +9,23 @@ contract:
   resolved against the kernel registry, :class:`JobRecord` job state);
 * :mod:`repro.service.worker` — the picklable per-job entry point run on the
   worker pool;
-* :mod:`repro.service.server` — :class:`TuningService` (work queue over a
-  ``ProcessPoolExecutor``, one shared file-locked :class:`TuningCache`,
+* :mod:`repro.service.server` — :class:`TuningService` (priority queue over
+  a ``ProcessPoolExecutor``, one shared file-locked :class:`TuningCache`,
   fingerprint-keyed in-flight deduplication: N concurrent identical requests
   trigger exactly one tuning run) and :class:`TuningServer` (the JSON-over-
-  HTTP surface: ``/tune``, ``/status/<job>``, ``/cache/stats``, ``/healthz``,
-  ``/kernels``, ``/shutdown``), with graceful drain on SIGTERM;
+  HTTP surface: ``/tune``, ``/tune/batch``, ``/status/<job>`` with
+  ``?wait=`` long-polling, ``/cache/stats``, ``/healthz``, ``/kernels``,
+  ``/fleet``, ``/shutdown``), with graceful drain on SIGTERM;
 * :mod:`repro.service.client` — blocking (:meth:`TuningClient.tune`) and
-  asynchronous (:meth:`TuningClient.submit` → :class:`PendingTuning`) client;
+  asynchronous (:meth:`TuningClient.submit` → :class:`PendingTuning`) client
+  that follows fleet redirects and optionally retries transient failures;
 * :mod:`repro.service.cli` — ``python -m repro.service`` (serve / submit /
-  status / stats / shutdown).
+  status / stats / fleet / shutdown).
+
+Several servers become a *fleet* via :mod:`repro.fleet`: a consistent-hash
+ring assigns each tuning fingerprint exactly one home server (``serve
+--peers ...``), so the home's in-flight dedup map is authoritative and
+exactly-once tuning holds fleet-wide.
 """
 
 from repro.service.client import PendingTuning, ServiceError, TuningClient

@@ -16,6 +16,13 @@ Watch a running fleet (curses-free; polls /healthz + /cache/stats +
 /metrics)::
 
     python -m repro.service top --url http://127.0.0.1:8037 --interval 2
+
+Run several servers as a fleet (a consistent-hash ring homes every tuning
+fingerprint on exactly one member) and inspect the ring::
+
+    python -m repro.service serve --port 8037 \\
+        --peers http://127.0.0.1:8038 --fleet-mode redirect
+    python -m repro.service fleet --url http://127.0.0.1:8037
 """
 
 from __future__ import annotations
@@ -32,6 +39,8 @@ from repro.telemetry.events import LEVELS, configure as configure_events, emit
 from repro.autotune.cli import parse_sizes
 from repro.autotune.search import EXECUTORS, STRATEGIES
 from repro.autotune.session import TuningReport
+from repro.fleet import FLEET_MODES
+from repro.fleet.queue import PRIORITY_CLASSES
 from repro.service.client import ServiceError, TuningClient
 from repro.service.protocol import TuneRequest, format_stage_counts, ordered_cache_stats
 from repro.service.server import TuningServer
@@ -91,6 +100,29 @@ def build_parser() -> argparse.ArgumentParser:
         "requests run analysis zero times (per worker process)",
     )
     serve.add_argument(
+        "--peers",
+        nargs="*",
+        default=[],
+        metavar="URL",
+        help="other fleet members' base URLs; with at least one peer the "
+        "server joins a consistent-hash ring and routes each tuning "
+        "fingerprint to its home member",
+    )
+    serve.add_argument(
+        "--fleet-mode",
+        default="redirect",
+        choices=sorted(FLEET_MODES),
+        help="how a non-home server answers /tune: redirect (307 to the "
+        "home; default) or proxy (forward and relay the home's answer)",
+    )
+    serve.add_argument(
+        "--advertise-url",
+        default=None,
+        metavar="URL",
+        help="the base URL peers should use to reach this server "
+        "(default: http://HOST:PORT from --host/--port)",
+    )
+    serve.add_argument(
         "--log-json",
         action="store_true",
         help="emit lifecycle events as one JSON object per line instead of "
@@ -120,6 +152,13 @@ def build_parser() -> argparse.ArgumentParser:
         "measure-c:[cc=..], or hybrid:model>measure-py?top=K",
     )
     submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--priority",
+        default="normal",
+        choices=PRIORITY_CLASSES,
+        help="queue class behind the worker pool: high jumps the queue, "
+        "low yields to everything else (default: normal)",
+    )
     submit.add_argument(
         "--eval-workers", type=int, default=1,
         help="parallel evaluation fan-out inside the worker",
@@ -158,6 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
     shutdown = commands.add_parser("shutdown", help="drain and stop a server")
     shutdown.add_argument("--url", default=DEFAULT_URL)
 
+    fleet = commands.add_parser(
+        "fleet", help="show a server's ring membership and queue depths"
+    )
+    fleet.add_argument("--url", default=DEFAULT_URL)
+
     top = commands.add_parser(
         "top", help="curses-free live terminal view of a running server"
     )
@@ -192,6 +236,9 @@ def _serve(args: argparse.Namespace) -> int:
         absorb_limit=args.absorb_limit,
         history=args.history,
         reuse_artifacts=args.reuse_artifacts,
+        peers=args.peers,
+        fleet_mode=args.fleet_mode,
+        advertise_url=args.advertise_url,
     )
 
     def handle_signal(signum: int, _frame: Optional[object]) -> None:
@@ -206,7 +253,9 @@ def _serve(args: argparse.Namespace) -> int:
         "server.listening",
         msg=f"repro tuning server listening on {server.url} "
         f"(executor={args.executor}, workers={args.workers}, "
-        f"cache={args.cache}, history={args.history or 'memory'})",
+        f"cache={args.cache}, history={args.history or 'memory'}"
+        + (f", fleet={1 + len(args.peers)} members" if args.peers else "")
+        + ")",
     )
     server.serve_forever()
     emit("server.stopped", msg="server drained and stopped")
@@ -229,6 +278,7 @@ def _submit(args: argparse.Namespace) -> int:
         space=space or None,
         backend=args.backend,
         trace=args.trace is not None,
+        priority=args.priority,
     )
     client = TuningClient(args.url)
     pending = client.submit(request)
@@ -302,6 +352,25 @@ def _stats(args: argparse.Namespace) -> int:
         print(f"{section}:")
         for key, value in stats[section].items():
             print(f"  {key}: {value}")
+    return 0
+
+
+def _fleet(args: argparse.Namespace) -> int:
+    payload = TuningClient(args.url).fleet()
+    fleet = payload.get("fleet")
+    if not fleet:
+        print("fleet: not configured (single server)")
+    else:
+        print(f"node: {fleet['node']}")
+        print(f"mode: {fleet['mode']}")
+        print(f"members: {fleet['size']}")
+        for member in fleet.get("members", ()):
+            marker = "  * " if member == fleet["node"] else "    "
+            print(f"{marker}{member}")
+    queue = payload.get("queue") or {}
+    if queue:
+        depths = "  ".join(f"{label}={depth}" for label, depth in queue.items())
+        print(f"queued: {depths}")
     return 0
 
 
@@ -387,6 +456,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "status": _status,
         "stats": _stats,
         "shutdown": _shutdown,
+        "fleet": _fleet,
         "top": _top,
     }
     try:

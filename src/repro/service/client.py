@@ -26,16 +26,33 @@ run.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.autotune.session import TuningReport
 from repro.service.protocol import FINISHED_STATES, TuneRequest
 
 DEFAULT_HTTP_TIMEOUT = 30.0
 DEFAULT_JOB_TIMEOUT = 600.0
+
+#: per-request ceiling on one long-poll wait; the server caps slightly above
+#: this, so each poll returns before the HTTP timeout kicks in
+LONG_POLL_CHUNK_S = 25.0
+
+#: fleet 307 hops followed per call before giving up (a hop is *normal* — one
+#: redirect to the home server; more than a couple means the rings disagree)
+MAX_REDIRECT_HOPS = 4
+
+
+class _Redirect(Exception):
+    """Internal: a 307 pointing the request at its fleet home server."""
+
+    def __init__(self, location: str) -> None:
+        super().__init__(location)
+        self.location = location
 
 
 class ServiceError(RuntimeError):
@@ -150,19 +167,52 @@ def _report_from_job(job: Mapping[str, Any]) -> TuningReport:
 
 
 class TuningClient:
-    """Talks JSON over HTTP to a :class:`repro.service.server.TuningServer`."""
+    """Talks JSON over HTTP to a :class:`repro.service.server.TuningServer`.
 
-    def __init__(self, url: str, timeout: float = DEFAULT_HTTP_TIMEOUT) -> None:
+    Fleet-aware: a ``307 Temporary Redirect`` from a non-home server is
+    followed transparently (``urllib`` refuses to re-POST on its own, so the
+    client re-issues the identical body at the ``Location`` target), and a
+    handle returned by :meth:`submit` polls the server that actually owns
+    the job (the ``node`` field of the ``/tune`` response).
+
+    ``retries`` (off by default) bounds re-attempts after *transient*
+    failures — connection errors, 502 from a degraded proxy, 503 while
+    draining — with exponential backoff from ``backoff`` seconds plus
+    jitter.  Tuning submissions are idempotent server-side (dedup + cache),
+    so a retried POST never duplicates work.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = DEFAULT_HTTP_TIMEOUT,
+        retries: int = 0,
+        backoff: float = 0.1,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries!r}")
+        if backoff <= 0:
+            raise ValueError(f"backoff must be positive, got {backoff!r}")
+        self.retries = retries
+        self.backoff = backoff
+
+    def _peer(self, url: str) -> "TuningClient":
+        """A client for another fleet member, inheriting this one's knobs."""
+        if url.rstrip("/") == self.url:
+            return self
+        return TuningClient(
+            url, timeout=self.timeout, retries=self.retries, backoff=self.backoff
+        )
 
     # -- transport ---------------------------------------------------------------------
-    def _call(
-        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
+    def _request_once(
+        self, method: str, url: str, payload: Optional[Mapping[str, Any]]
     ) -> Dict[str, Any]:
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
         request = urllib.request.Request(
-            self.url + path,
+            url,
             data=data,
             method=method,
             headers={"Content-Type": "application/json"},
@@ -171,6 +221,8 @@ class TuningClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
+            if error.code == 307 and error.headers.get("Location"):
+                raise _Redirect(error.headers["Location"]) from None
             body = error.read().decode("utf-8", errors="replace")
             try:
                 parsed = json.loads(body)
@@ -178,14 +230,44 @@ class TuningClient:
             except json.JSONDecodeError:
                 parsed, message = {}, body
             raise ServiceError(
-                f"{method} {path} failed ({error.code}): {message}",
+                f"{method} {url} failed ({error.code}): {message}",
                 status=error.code,
                 payload=parsed,
             ) from None
         except urllib.error.URLError as error:
             raise ServiceError(
-                f"cannot reach tuning server at {self.url}: {error.reason}"
+                f"cannot reach tuning server at {url}: {error.reason}"
             ) from None
+
+    def _call(
+        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        url = self.url + path
+        attempts = 0
+        hops = 0
+        while True:
+            try:
+                return self._request_once(method, url, payload)
+            except _Redirect as redirect:
+                # A fleet 307: re-issue the identical request at the home
+                # server.  Hops are routing, not failures — they don't burn
+                # retry budget, but a bounce loop (disagreeing rings) must
+                # not spin forever.
+                hops += 1
+                if hops > MAX_REDIRECT_HOPS:
+                    raise ServiceError(
+                        f"{method} {path}: gave up after {hops} fleet redirects "
+                        f"(last target {redirect.location})"
+                    ) from None
+                url = redirect.location
+            except ServiceError as error:
+                transient = error.status is None or error.status in (502, 503)
+                if not transient or attempts >= self.retries:
+                    raise
+                attempts += 1
+                delay = self.backoff * (2 ** (attempts - 1))
+                delay *= 0.5 + random.random() / 2  # full jitter: 50-100%
+                time.sleep(delay)
 
     # -- endpoints ---------------------------------------------------------------------
     def healthz(self) -> Dict[str, Any]:
@@ -246,8 +328,21 @@ class TuningClient:
         """The server's ``/history`` payload: store stats + per-group rollup."""
         return self._call("GET", "/history")
 
-    def status(self, job_id: str) -> Dict[str, Any]:
-        return self._call("GET", f"/status/{job_id}")
+    def status(self, job_id: str, wait: Optional[float] = None) -> Dict[str, Any]:
+        """The job's state; with ``wait`` the server long-polls.
+
+        ``wait`` seconds > 0 parks the request server-side until the job
+        finishes (or the window closes) — one round trip instead of a
+        sleep-poll loop.
+        """
+        path = f"/status/{job_id}"
+        if wait is not None and wait > 0:
+            path += f"?wait={wait:g}"
+        return self._call("GET", path)
+
+    def fleet(self) -> Dict[str, Any]:
+        """The server's ``/fleet`` payload: membership + queue depths."""
+        return self._call("GET", "/fleet")
 
     def shutdown(self) -> Dict[str, Any]:
         """Ask the server to drain in-flight jobs and stop."""
@@ -255,11 +350,17 @@ class TuningClient:
 
     # -- tuning ------------------------------------------------------------------------
     def submit(self, request: Union[TuneRequest, Mapping[str, Any]]) -> PendingTuning:
-        """Fire one tuning request; returns immediately with a handle."""
+        """Fire one tuning request; returns immediately with a handle.
+
+        In a fleet the job may live on another member (we were redirected or
+        proxied there); the handle binds to the owning server's URL — the
+        ``node`` field of the response — so its polls go straight home.
+        """
         payload = request.to_dict() if isinstance(request, TuneRequest) else dict(request)
         response = self._call("POST", "/tune", payload)
+        owner = self._peer(response["node"]) if response.get("node") else self
         return PendingTuning(
-            self,
+            owner,
             response["job"],
             response["fingerprint"],
             response["outcome"],
@@ -267,16 +368,69 @@ class TuningClient:
             request=payload,
         )
 
+    def submit_batch(
+        self, requests: Iterable[Union[TuneRequest, Mapping[str, Any]]]
+    ) -> List[PendingTuning]:
+        """Fire many requests in one ``POST /tune/batch``; handles in order.
+
+        Items the server answered ``redirected`` (redirect-mode fleet, other
+        home) are resubmitted individually to their home server, so the
+        caller always gets one live handle per request.  A malformed item
+        raises — a batch is one unit of intent, not a best-effort spray.
+        """
+        payloads = [
+            item.to_dict() if isinstance(item, TuneRequest) else dict(item)
+            for item in requests
+        ]
+        response = self._call("POST", "/tune/batch", {"requests": payloads})
+        jobs = response.get("jobs", [])
+        if len(jobs) != len(payloads):
+            raise ServiceError(
+                f"batch answered {len(jobs)} slots for {len(payloads)} requests",
+                payload=response,
+            )
+        handles: List[PendingTuning] = []
+        for payload, item in zip(payloads, jobs):
+            outcome = item.get("outcome")
+            if outcome == "redirected":
+                handles.append(self._peer(item["node"]).submit(payload))
+                continue
+            if outcome in ("invalid", "error") or "job" not in item:
+                raise ServiceError(
+                    f"batch item rejected: {item.get('error', item)}", payload=item
+                )
+            owner = self._peer(item["node"]) if item.get("node") else self
+            handles.append(
+                PendingTuning(
+                    owner,
+                    item["job"],
+                    item["fingerprint"],
+                    outcome,
+                    job_state=item.get("job_state"),
+                    request=payload,
+                )
+            )
+        return handles
+
     def wait(
         self,
         job_id: str,
         timeout: float = DEFAULT_JOB_TIMEOUT,
         poll_interval: float = 0.05,
     ) -> Dict[str, Any]:
-        """Poll until the job finishes; the raw job payload."""
+        """Block until the job finishes; the raw job payload.
+
+        Long-polls ``/status/<job>?wait=...`` so a completed job costs one
+        round trip (two for jobs outliving one poll window) instead of a
+        20Hz polling loop; ``poll_interval`` only paces the rare degenerate
+        case of a server answering a long-poll immediately.
+        """
         deadline = time.monotonic() + timeout
         while True:
-            job = self.status(job_id)
+            remaining = deadline - time.monotonic()
+            job = self.status(
+                job_id, wait=max(0.0, min(remaining, LONG_POLL_CHUNK_S))
+            )
             if job["status"] in FINISHED_STATES:
                 return job
             if time.monotonic() >= deadline:

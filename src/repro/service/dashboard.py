@@ -89,6 +89,31 @@ def render_dashboard(
         "</p>",
     ]
 
+    fleet = health.get("fleet")
+    if fleet:
+        lines.append("<h2>Fleet</h2>")
+        node = str(fleet.get("node", "?"))
+        members = [str(m) for m in fleet.get("members", ())]
+        member_cells = [
+            f"<span class='ok'>{html.escape(m)} (this server)</span>"
+            if m == node
+            else html.escape(m)
+            for m in members
+        ]
+        queue = stats.get("server", {}).get("queue", {}) or {}
+        depth_text = "  ".join(
+            f"{html.escape(str(label))}={int(depth)}"
+            for label, depth in queue.items()
+        )
+        lines.append(
+            "<p>"
+            f"mode {html.escape(str(fleet.get('mode', '?')))}"
+            f" · {len(members)} member(s)"
+            f" · queued {depth_text or 'none'}"
+            "</p>"
+        )
+        lines += _table(["ring member"], [[cell] for cell in member_cells])
+
     lines.append("<h2>Winner trends</h2>")
     if records:
         trend_rows = []

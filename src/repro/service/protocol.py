@@ -97,6 +97,11 @@ class TuneRequest:
     #: payload).  Observability only — deliberately NOT a fingerprint
     #: ingredient: a traced and an untraced request share one cache entry.
     trace: bool = False
+    #: scheduling class (``high`` | ``normal`` | ``low``) — decides queue
+    #: order behind a busy worker pool, nothing else.  Like ``trace``,
+    #: deliberately NOT a fingerprint ingredient: a high- and a low-priority
+    #: submission of the same work share one cache entry and one job.
+    priority: str = "normal"
 
     def __post_init__(self) -> None:
         if not isinstance(self.kernel, str) or not self.kernel:
@@ -126,6 +131,12 @@ class TuneRequest:
         if not isinstance(self.trace, bool):
             # a truthy string like "false" must not silently enable tracing
             raise ValueError(f"trace must be a boolean, got {self.trace!r}")
+        from repro.fleet.queue import PRIORITY_CLASSES
+
+        if self.priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"priority must be one of {PRIORITY_CLASSES}, got {self.priority!r}"
+            )
         # Parse the backend URI eagerly: a typo must 400 at submission, not
         # error a worker.  (Host *availability* — e.g. a missing C toolchain —
         # is deliberately not checked here: the worker raising
@@ -172,6 +183,7 @@ class TuneRequest:
             "space": dict(self.space) if self.space else None,
             "backend": self.backend,
             "trace": self.trace,
+            "priority": self.priority,
         }
 
     @classmethod

@@ -8,10 +8,19 @@ Two layers:
   job (N concurrent submitters, exactly one tuning run), and everything else
   is queued onto a ``ProcessPoolExecutor`` (or thread pool) worker.
 * :class:`TuningServer` — a stdlib ``ThreadingHTTPServer`` exposing the
-  engine as JSON over HTTP: ``POST /tune``, ``GET /status/<job>``,
-  ``GET /cache/stats``, ``GET /healthz``, ``GET /kernels``,
+  engine as JSON over HTTP: ``POST /tune``, ``POST /tune/batch``,
+  ``GET /status/<job>`` (``?wait=SECONDS`` long-polls until the job
+  finishes), ``GET /cache/stats``, ``GET /healthz``, ``GET /kernels``,
   ``GET /history`` (the tuning-history rollup), ``GET /dashboard``
-  (the HTML fleet view), ``POST /shutdown``.
+  (the HTML fleet view), ``GET /fleet``, ``POST /shutdown``.
+
+Several servers form a *fleet* (see :mod:`repro.fleet`): a consistent-hash
+ring assigns every tuning fingerprint one home server, and a non-home
+server either 307-redirects ``/tune`` to the home or proxies it there —
+so in-flight dedup (exactly one tuning run for N identical concurrent
+submissions) holds across the whole fleet, not just per process.  Worker
+scheduling goes through a priority queue: small warm probes overtake giant
+cold sweeps instead of queueing FIFO behind them.
 
 Every lifecycle edge (submit, dedup-join, start, cache put, done, error)
 emits a structured event through :mod:`repro.telemetry.events`; each
@@ -30,14 +39,15 @@ from __future__ import annotations
 import json
 import multiprocessing
 import threading
+import time
 import uuid
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import wait as wait_futures
 from functools import partial
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
-from urllib.parse import urlparse
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlparse
 
 from repro.kernels.registry import available_kernels, get_kernel
 from repro.machine.spec import GEFORCE_8800_GTX, GPUSpec
@@ -46,6 +56,8 @@ from repro.telemetry.events import emit
 from repro.telemetry.history import HistoryRecord, HistoryStore, open_history, rollup
 from repro.autotune.cache import TuningCache
 from repro.autotune.search import EXECUTORS
+from repro.fleet.queue import PriorityExecutor, space_cost_estimate
+from repro.fleet.registry import FleetRegistry
 from repro.service.dashboard import render_dashboard
 from repro.service.protocol import JobRecord, TuneRequest
 from repro.service.worker import execute_request
@@ -65,6 +77,15 @@ HTTP_REQUESTS_TOTAL = METRICS.counter(
     "HTTP requests served, by method and endpoint (path parameters folded).",
     labels=("method", "endpoint"),
 )
+FLEET_REDIRECTS_TOTAL = METRICS.counter(
+    "repro_fleet_redirects_total",
+    "Requests routed to their home server, by routing mode.",
+    labels=("mode",),  # redirect | proxy | batch-redirect
+)
+
+#: ceiling on one long-poll /status wait — clients loop for longer waits, so
+#: a handler thread is never parked longer than this
+MAX_STATUS_WAIT_S = 30.0
 
 
 class ServiceUnavailable(RuntimeError):
@@ -93,6 +114,7 @@ class TuningService:
         absorb_limit: Optional[int] = None,
         history: Union[HistoryStore, str, Path, None] = None,
         reuse_artifacts: bool = False,
+        fleet: Optional[FleetRegistry] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -130,9 +152,18 @@ class TuningService:
             )
         else:
             self._pool = ThreadPoolExecutor(max_workers=max_workers)
+        # The priority front: at most max_workers tasks sit in the pool; the
+        # rest queue by (priority class, sweep cost, arrival) so small warm
+        # probes overtake giant cold sweeps instead of waiting behind them.
+        self._queue = PriorityExecutor(self._pool, max_workers)
+        #: this server's fleet view (None: a standalone server, no routing)
+        self.fleet = fleet
         # Reentrant: a future that completes before submit() releases the lock
         # runs its done-callback (_finish) synchronously on this thread.
         self._lock = threading.RLock()
+        #: signalled (notify_all) every time a job reaches a terminal state —
+        #: what long-poll /status waits block on
+        self._finished_cond = threading.Condition(self._lock)
         self._jobs: Dict[str, JobRecord] = {}
         self._futures: Dict[str, Future] = {}
         #: fingerprint → job id of the one in-flight job covering it
@@ -256,7 +287,11 @@ class TuningService:
                 reuse_artifacts=self.reuse_artifacts,
             )
             try:
-                future = self._pool.submit(task)
+                future = self._queue.submit(
+                    task,
+                    priority=request.priority,
+                    cost=space_cost_estimate(resolved.space_options),
+                )
             except Exception as error:  # e.g. BrokenProcessPool after a worker died
                 # Roll back the in-flight registration: the fingerprint must
                 # not stay wedged on a job that will never get a future.
@@ -286,6 +321,60 @@ class TuningService:
                 fingerprint=key[:16],
             )
             return job, "created"
+
+    def submit_batch(
+        self, payloads: Iterable[Mapping[str, Any]]
+    ) -> List[Tuple[Optional[JobRecord], str, Optional[str]]]:
+        """Accept many requests; per item ``(job, outcome, error)``.
+
+        Items are independent — one malformed request yields an ``invalid``
+        outcome for that slot (``job`` ``None``, ``error`` the message) and
+        never poisons its neighbours.  Everything lands on the priority
+        queue, so within the batch small probes still run before big sweeps.
+        """
+        results: List[Tuple[Optional[JobRecord], str, Optional[str]]] = []
+        for payload in payloads:
+            try:
+                job, outcome = self.submit(payload)
+                results.append((job, outcome, None))
+            except ServiceUnavailable:
+                raise  # draining rejects the whole batch: nothing partial
+            except (ValueError, TypeError) as error:
+                results.append((None, "invalid", str(error)))
+        return results
+
+    def fingerprint_of(self, payload: Mapping[str, Any]) -> str:
+        """The fingerprint a payload would tune under — no submission.
+
+        What fleet routing keys off: cheap (no compile), and raising the
+        same ``ValueError`` a submission would, so a non-home server still
+        400s malformed requests instead of bouncing them around the ring.
+        """
+        request = TuneRequest.from_dict(dict(payload))
+        return request.resolve(self.spec).fingerprint
+
+    def wait_for_job(
+        self, job_id: str, timeout: float
+    ) -> Optional[Dict[str, Any]]:
+        """Long-poll: the job's snapshot once finished, or at ``timeout``.
+
+        ``None`` for an unknown job.  Parked on a condition the finish path
+        signals — zero polling; an evicted-while-waiting job returns
+        ``None`` and the client falls back to its recovery path.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._finished_cond:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    return None
+                if job.finished:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._finished_cond.wait(remaining)
+            return self.job_payload(job_id)
 
     def _new_job_id(self) -> str:
         return uuid.uuid4().hex[:12]
@@ -322,6 +411,7 @@ class TuningService:
                 self.counters["failed"] += 1
                 emit("job.error", level="error", job_id=job.id, error=job.error)
                 self._evict_finished_locked()
+                self._finished_cond.notify_all()
                 return
             # Populate the result fields before flipping status: "done" is the
             # publication point status readers key off.
@@ -373,6 +463,7 @@ class TuningService:
                 trace_id=job.trace_id,
             )
             self._evict_finished_locked()
+            self._finished_cond.notify_all()
 
     # -- inspection --------------------------------------------------------------------
     def job(self, job_id: str) -> Optional[JobRecord]:
@@ -424,10 +515,15 @@ class TuningService:
         """
         with self._lock:
             counters = dict(self.counters)
-        return {"cache": self.cache.stats(), "server": counters, "jobs": self.job_counts()}
+        return {
+            "cache": self.cache.stats(),
+            "server": counters,
+            "jobs": self.job_counts(),
+            "queue": self._queue.queue_depths(),
+        }
 
     def health(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "status": "draining" if self.draining else "ok",
             "executor": self.executor,
             "workers": self.max_workers,
@@ -436,6 +532,9 @@ class TuningService:
             "history_path": self.history.uri,
             "jobs": self.job_counts(),
         }
+        if self.fleet is not None:
+            payload["fleet"] = self.fleet.describe()
+        return payload
 
     def jobs_snapshot(self) -> list:
         """Lightweight (report-free) snapshots of every retained job."""
@@ -469,10 +568,12 @@ class TuningService:
             self._draining = True
             pending = list(self._futures.values())
         unfinished = wait_futures(pending, timeout=timeout).not_done if pending else set()
+        # Shut down through the priority front so still-queued (undispatched)
+        # tasks are cancelled or flushed consistently with the pool.
         if unfinished:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._queue.shutdown(wait=False, cancel_futures=True)
         else:
-            self._pool.shutdown(wait=True)
+            self._queue.shutdown(wait=True)
 
 
 class TuningRequestHandler(BaseHTTPRequestHandler):
@@ -506,6 +607,7 @@ class TuningRequestHandler(BaseHTTPRequestHandler):
         # /status/<job> is one endpoint, and unknown paths are one bucket
         known = (
             "/tune",
+            "/tune/batch",
             "/shutdown",
             "/metrics",
             "/healthz",
@@ -513,6 +615,7 @@ class TuningRequestHandler(BaseHTTPRequestHandler):
             "/kernels",
             "/dashboard",
             "/history",
+            "/fleet",
         )
         if path.startswith("/status/"):
             endpoint = "/status"
@@ -554,14 +657,138 @@ class TuningRequestHandler(BaseHTTPRequestHandler):
             )
         elif path == "/history":
             self._send_json(200, self.service.history_rollup())
+        elif path == "/fleet":
+            fleet = self.service.fleet
+            if fleet is None:
+                self._send_json(200, {"fleet": None, "queue": self.service._queue.queue_depths()})
+            else:
+                self._send_json(
+                    200,
+                    {
+                        "fleet": fleet.describe(),
+                        "queue": self.service._queue.queue_depths(),
+                    },
+                )
         elif path.startswith("/status/"):
-            payload = self.service.job_payload(path[len("/status/"):])
+            job_id = path[len("/status/"):]
+            wait_s = self._wait_seconds()
+            if wait_s is None:
+                self._send_json(400, {"error": "wait must be a non-negative number"})
+                return
+            if wait_s > 0:
+                payload = self.service.wait_for_job(
+                    job_id, min(wait_s, MAX_STATUS_WAIT_S)
+                )
+            else:
+                payload = self.service.job_payload(job_id)
             if payload is None:
                 self._send_json(404, {"error": "unknown job"})
             else:
                 self._send_json(200, payload)
         else:
             self._send_json(404, {"error": f"unknown endpoint {path!r}"})
+
+    def _wait_seconds(self) -> Optional[float]:
+        """The ``?wait=SECONDS`` long-poll parameter (0 when absent).
+
+        ``None`` signals a malformed value — the caller answers 400.
+        """
+        query = parse_qs(urlparse(self.path).query)
+        raw = query.get("wait", ["0"])[-1]
+        try:
+            wait_s = float(raw)
+        except ValueError:
+            return None
+        return wait_s if wait_s >= 0 else None
+
+    def _route_home(self, payload: Mapping[str, Any]) -> Optional[str]:
+        """Fleet routing for one /tune payload.
+
+        ``None``: handle locally (standalone server, or this node is the
+        fingerprint's home).  Otherwise the response has been sent — a 307
+        pointing at the home (redirect mode) or the home's relayed answer
+        (proxy mode) — and the caller must stop.
+        """
+        fleet = self.service.fleet
+        if fleet is None:
+            return None
+        fingerprint = self.service.fingerprint_of(payload)  # ValueError → 400
+        home = fleet.home(fingerprint)
+        if home == fleet.node_id:
+            return None
+        if fleet.mode == "redirect":
+            FLEET_REDIRECTS_TOTAL.inc(mode="redirect")
+            location = home + "/tune"
+            body = json.dumps(
+                {"redirect": location, "node": home, "fingerprint": fingerprint}
+            ).encode("utf-8")
+            # 307 preserves method+body, so the client re-POSTs verbatim.
+            self.send_response(307)
+            self.send_header("Location", location)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:  # proxy
+            FLEET_REDIRECTS_TOTAL.inc(mode="proxy")
+            status, relayed = fleet.forward_tune(home, payload)
+            if isinstance(relayed, dict):
+                relayed.setdefault("node", home)
+            self._send_json(status, relayed)
+        return home
+
+    def _tune_response(self, job: JobRecord, outcome: str) -> Dict[str, Any]:
+        response: Dict[str, Any] = {
+            "job": job.id,
+            "fingerprint": job.fingerprint,
+            "status": job.status,
+            "outcome": outcome,
+        }
+        if self.service.fleet is not None:
+            response["node"] = self.service.fleet.node_id
+        # A job finished at submission (warm hit) carries its full state
+        # inline, so the client needs no /status round trip — and cannot
+        # lose the answer to finished-job eviction in between.
+        if job.finished:
+            response["job_state"] = self.service.job_payload(job.id)
+        return response
+
+    def _batch_item(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One /tune/batch slot: routed, submitted, or per-item error.
+
+        Batch items are never answered with 307 — a multi-status redirect
+        cannot be expressed in one response — so in redirect mode a non-home
+        item comes back as outcome ``redirected`` with the home's URL for the
+        client to resubmit; in proxy mode it is forwarded transparently.
+        """
+        fleet = self.service.fleet
+        try:
+            if fleet is not None:
+                fingerprint = self.service.fingerprint_of(payload)
+                home = fleet.home(fingerprint)
+                if home != fleet.node_id:
+                    if fleet.mode == "redirect":
+                        FLEET_REDIRECTS_TOTAL.inc(mode="batch-redirect")
+                        return {
+                            "outcome": "redirected",
+                            "node": home,
+                            "redirect": home + "/tune",
+                            "fingerprint": fingerprint,
+                        }
+                    FLEET_REDIRECTS_TOTAL.inc(mode="proxy")
+                    status, relayed = fleet.forward_tune(home, payload)
+                    if isinstance(relayed, dict):
+                        relayed.setdefault("node", home)
+                        if status >= 400:
+                            relayed.setdefault("outcome", "error")
+                        return relayed
+                    return {"outcome": "error", "error": f"peer returned {status}"}
+            job, outcome = self.service.submit(payload)
+        except ServiceUnavailable:
+            raise  # 503s the whole batch
+        except (ValueError, TypeError) as error:
+            return {"outcome": "invalid", "error": str(error)}
+        return self._tune_response(job, outcome)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = urlparse(self.path).path
@@ -577,6 +804,8 @@ class TuningRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(400, {"error": "request body must be a JSON object"})
                 return
             try:
+                if self._route_home(payload) is not None:
+                    return  # routed to its home server; response already sent
                 job, outcome = self.service.submit(payload)
             except ServiceUnavailable as error:
                 self._send_json(503, {"error": str(error)})
@@ -584,18 +813,29 @@ class TuningRequestHandler(BaseHTTPRequestHandler):
             except (ValueError, TypeError) as error:
                 self._send_json(400, {"error": str(error)})
                 return
-            response = {
-                "job": job.id,
-                "fingerprint": job.fingerprint,
-                "status": job.status,
-                "outcome": outcome,
-            }
-            # A job finished at submission (warm hit) carries its full state
-            # inline, so the client needs no /status round trip — and cannot
-            # lose the answer to finished-job eviction in between.
-            if job.finished:
-                response["job_state"] = self.service.job_payload(job.id)
+            response = self._tune_response(job, outcome)
             self._send_json(200, response)
+        elif path == "/tune/batch":
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (ValueError, UnicodeDecodeError) as error:
+                self._send_json(400, {"error": f"invalid JSON body: {error}"})
+                return
+            requests = payload.get("requests") if isinstance(payload, dict) else None
+            if not isinstance(requests, list) or not all(
+                isinstance(item, dict) for item in requests
+            ):
+                self._send_json(
+                    400,
+                    {"error": "body must be {\"requests\": [<TuneRequest>, ...]}"},
+                )
+                return
+            try:
+                jobs = [self._batch_item(item) for item in requests]
+            except ServiceUnavailable as error:
+                self._send_json(503, {"error": str(error)})
+                return
+            self._send_json(200, {"jobs": jobs})
         elif path == "/shutdown":
             # Only loopback peers may stop the server: anyone who can reach a
             # --host 0.0.0.0 deployment must not be able to deny service.
@@ -634,6 +874,9 @@ class TuningServer:
         absorb_limit: Optional[int] = None,
         history: Union[HistoryStore, str, Path, None] = None,
         reuse_artifacts: bool = False,
+        peers: Iterable[str] = (),
+        fleet_mode: str = "redirect",
+        advertise_url: Optional[str] = None,
     ) -> None:
         self.service = TuningService(
             cache=cache,
@@ -650,6 +893,27 @@ class TuningServer:
         self._httpd.tuning_server = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self._stopped = threading.Event()
+        # Fleet membership needs the *bound* address (port may have been 0),
+        # so the registry is built after the socket exists.
+        if list(peers):
+            self.configure_fleet(peers, mode=fleet_mode, advertise_url=advertise_url)
+
+    def configure_fleet(
+        self,
+        peers: Iterable[str],
+        mode: str = "redirect",
+        advertise_url: Optional[str] = None,
+    ) -> FleetRegistry:
+        """Join (or re-form) a fleet; returns the new registry.
+
+        ``advertise_url`` is the URL *peers* reach this server under —
+        required when binding 0.0.0.0 or behind a proxy; defaults to the
+        bound address.  Callable after ``start()`` too: tests boot two
+        ephemeral-port servers first and introduce them to each other next.
+        """
+        registry = FleetRegistry(advertise_url or self.url, peers, mode=mode)
+        self.service.fleet = registry
+        return registry
 
     @property
     def address(self) -> Tuple[str, int]:

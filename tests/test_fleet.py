@@ -1,0 +1,460 @@
+"""Tests of the ``repro.fleet`` subsystem and the fleet-aware service.
+
+The integration suites boot two real HTTP servers in this process (thread
+executor, one shared sharded cache directory), introduce them to each other
+via :meth:`TuningServer.configure_fleet`, and verify the property the ring
+exists for: a tuning fingerprint has exactly one home server, so in-flight
+deduplication — and therefore exactly-once tuning — holds *fleet-wide*.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.pipeline import COMPILE_COUNTER
+from repro.fleet import FLEET_MODES, FleetRegistry, HashRing
+from repro.fleet.queue import PriorityExecutor, space_cost_estimate
+from repro.fleet.registry import normalize_url
+from repro.telemetry import parse_prometheus_text
+from repro.service import ServiceError, TuneRequest, TuningClient, TuningServer
+from repro.service.worker import execute_request
+
+SMALL_SPACE = {"thread_counts": [64], "block_counts": [16], "tile_candidates_per_geometry": 2}
+
+
+def matmul_request(m: int = 32, **overrides) -> TuneRequest:
+    payload = {"kernel": "matmul", "sizes": {"m": m, "n": m, "k": m}, "space": SMALL_SPACE}
+    payload.update(overrides)
+    return TuneRequest(**payload)
+
+
+# -- consistent-hash ring ----------------------------------------------------------
+class TestHashRing:
+    def test_home_is_a_pure_function_of_the_member_set(self):
+        members = ["http://a:1", "http://b:1", "http://c:1"]
+        forward = HashRing(members)
+        shuffled = HashRing(list(reversed(members)))
+        for i in range(200):
+            key = f"fingerprint-{i}"
+            assert forward.home(key) == shuffled.home(key)
+
+    def test_every_key_lands_on_a_member(self):
+        ring = HashRing(["http://a:1", "http://b:1"])
+        for i in range(100):
+            assert ring.home(f"k{i}") in ring.nodes
+
+    def test_removal_only_rehomes_the_removed_nodes_keys(self):
+        members = ["http://a:1", "http://b:1", "http://c:1"]
+        ring = HashRing(members)
+        keys = [f"fingerprint-{i}" for i in range(500)]
+        before = {key: ring.home(key) for key in keys}
+        ring.remove("http://b:1")
+        for key in keys:
+            if before[key] != "http://b:1":
+                assert ring.home(key) == before[key]
+            else:
+                assert ring.home(key) != "http://b:1"
+
+    def test_balance_within_reason(self):
+        ring = HashRing(["http://a:1", "http://b:1", "http://c:1"])
+        shares = ring.shares([f"k{i}" for i in range(3000)])
+        assert sum(shares.values()) == pytest.approx(1.0)
+        for share in shares.values():
+            # 128 virtual points per node keeps skew well inside 2x of fair
+            assert 1 / 6 < share < 2 / 3
+
+    def test_preference_lists_distinct_members_home_first(self):
+        ring = HashRing(["http://a:1", "http://b:1", "http://c:1"])
+        preferred = ring.preference("some-fingerprint", count=2)
+        assert len(preferred) == 2
+        assert len(set(preferred)) == 2
+        assert preferred[0] == ring.home("some-fingerprint")
+
+    def test_rejects_degenerate_configurations(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            HashRing([])
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(["http://a:1"], replicas=0)
+        with pytest.raises(ValueError, match="last node"):
+            HashRing(["http://a:1"]).remove("http://a:1")
+
+
+# -- registry ----------------------------------------------------------------------
+class TestFleetRegistry:
+    def test_normalize_url_yields_one_canonical_node_id(self):
+        assert normalize_url("127.0.0.1:8037") == "http://127.0.0.1:8037"
+        assert normalize_url("HTTP://host:1/") == "http://host:1"
+        assert normalize_url(" http://host:1 ") == "http://host:1"
+        with pytest.raises(ValueError, match="non-empty"):
+            normalize_url("   ")
+
+    def test_members_agree_on_every_home(self):
+        a = FleetRegistry("http://a:1", ["http://b:1/"])
+        b = FleetRegistry("b:1", ["http://a:1"])
+        assert a.members == b.members
+        for i in range(200):
+            key = f"fingerprint-{i}"
+            assert a.home(key) == b.home(key)
+            assert a.is_home(key) != b.is_home(key)
+
+    def test_describe_and_peers(self):
+        registry = FleetRegistry("http://a:1", ["http://b:1"], mode="proxy")
+        described = registry.describe()
+        assert described["node"] == "http://a:1"
+        assert described["mode"] == "proxy"
+        assert described["size"] == 2
+        assert registry.peers == ["http://b:1"]
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="fleet mode"):
+            FleetRegistry("http://a:1", [], mode="gossip")
+        assert set(FLEET_MODES) == {"redirect", "proxy"}
+
+
+# -- priority queue ----------------------------------------------------------------
+class _InstantPool:
+    """A pool whose futures are already done when submit returns.
+
+    Models the pathological-but-real case (e.g. a broken process pool failing
+    work at submission) where ``add_done_callback`` runs the completion hook
+    synchronously on the dispatching thread.
+    """
+
+    def submit(self, fn):
+        future = Future()
+        try:
+            future.set_result(fn())
+        except Exception as error:  # pragma: no cover - not hit in these tests
+            future.set_exception(error)
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestSpaceCostEstimate:
+    def test_products_of_the_space_axes(self):
+        space = SimpleNamespace(
+            thread_counts=[64, 128],
+            block_counts=[16],
+            scratchpad_choices=[True, False],
+            tile_candidates_per_geometry=3,
+        )
+        assert space_cost_estimate(space) == 2 * 1 * 2 * 3
+
+    def test_unbounded_tiles_rank_as_a_large_constant(self):
+        bounded = SimpleNamespace(tile_candidates_per_geometry=2)
+        exhaustive = SimpleNamespace(tile_candidates_per_geometry=None)
+        assert space_cost_estimate(exhaustive) > space_cost_estimate(bounded)
+
+
+class TestPriorityExecutor:
+    def test_queued_work_runs_high_then_cheap_then_low(self):
+        order = []
+        gate = threading.Event()
+        started = threading.Event()
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            executor = PriorityExecutor(pool, 1)
+            blocker = executor.submit(lambda: (started.set(), gate.wait(10)))
+            assert started.wait(5)
+            futures = [
+                executor.submit(lambda: order.append("low"), priority="low", cost=1),
+                executor.submit(
+                    lambda: order.append("normal-giant"), priority="normal", cost=500
+                ),
+                executor.submit(
+                    lambda: order.append("normal-probe"), priority="normal", cost=1
+                ),
+                executor.submit(lambda: order.append("high"), priority="high", cost=900),
+            ]
+            depths = executor.queue_depths()
+            assert depths == {"high": 1, "normal": 2, "low": 1}
+            gate.set()
+            blocker.result(timeout=10)
+            for future in futures:
+                future.result(timeout=10)
+        # explicit class first; within a class the cheap probe overtakes the
+        # giant sweep; low yields to everything
+        assert order == ["high", "normal-probe", "normal-giant", "low"]
+
+    def test_rejects_unknown_priority_class(self):
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            executor = PriorityExecutor(pool, 1)
+            with pytest.raises(ValueError, match="priority"):
+                executor.submit(lambda: None, priority="urgent")
+
+    def test_synchronously_completing_pool_does_not_deadlock(self):
+        """Regression: an inner future already done at add_done_callback time
+        runs _finish on the dispatching thread, inside the queue lock."""
+        executor = PriorityExecutor(_InstantPool(), 1)
+        outcome = {}
+
+        def run():
+            outcome["first"] = executor.submit(lambda: 7).result(timeout=5)
+            outcome["second"] = executor.submit(lambda: 11).result(timeout=5)
+
+        worker = threading.Thread(target=run, daemon=True)
+        worker.start()
+        worker.join(timeout=10)
+        assert not worker.is_alive(), "PriorityExecutor deadlocked on sync completion"
+        assert outcome == {"first": 7, "second": 11}
+        # the running slot was released both times
+        assert executor.queue_depths() == {"high": 0, "normal": 0, "low": 0}
+
+    def test_shutdown_cancels_queued_tasks(self):
+        gate = threading.Event()
+        started = threading.Event()
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            executor = PriorityExecutor(pool, 1)
+            blocker = executor.submit(lambda: (started.set(), gate.wait(10)))
+            assert started.wait(5)
+            queued = executor.submit(lambda: None)
+            executor.shutdown(wait=False, cancel_futures=True)
+            assert queued.cancelled()
+            with pytest.raises(RuntimeError, match="shutdown"):
+                executor.submit(lambda: None)
+            gate.set()
+            blocker.result(timeout=10)
+
+
+# -- protocol ----------------------------------------------------------------------
+class TestPriorityOnTheWire:
+    def test_priority_travels_but_does_not_split_the_fingerprint(self):
+        base = matmul_request()
+        urgent = matmul_request(priority="high")
+        assert TuneRequest.from_dict(urgent.to_dict()) == urgent
+        # priority is scheduling advice: the same work must still dedup
+        assert base.resolve().fingerprint == urgent.resolve().fingerprint
+
+    def test_rejects_unknown_priority(self):
+        with pytest.raises(ValueError, match="priority"):
+            matmul_request(priority="urgent")
+
+
+# -- two-server fleet over HTTP ----------------------------------------------------
+def _start_pair(tmp_path, mode: str):
+    """Two thread-executor servers sharing one cache store, ringed together."""
+    cache = f"dir:{tmp_path / 'shared-cache'}"
+    first = TuningServer(port=0, executor="thread", max_workers=4, cache=cache).start()
+    second = TuningServer(port=0, executor="thread", max_workers=4, cache=cache).start()
+    first.configure_fleet([second.url], mode=mode)
+    second.configure_fleet([first.url], mode=mode)
+    return first, second
+
+
+def _home_and_away(servers, request: TuneRequest):
+    """(home server, non-home server) for the request's fingerprint."""
+    fingerprint = request.resolve().fingerprint
+    home_url = servers[0].service.fleet.home(fingerprint)
+    home = next(s for s in servers if s.url == home_url)
+    away = next(s for s in servers if s.url != home_url)
+    return home, away
+
+
+def _metric_total(client: TuningClient, name: str, **labels) -> float:
+    samples = parse_prometheus_text(client.metrics())
+    wanted = set(labels.items())
+    return sum(
+        value for key, value in samples.get(name, {}).items() if wanted <= set(key)
+    )
+
+
+@pytest.fixture
+def redirect_pair(tmp_path):
+    servers = _start_pair(tmp_path, "redirect")
+    yield servers
+    for server in servers:
+        server.stop()
+
+
+@pytest.fixture
+def proxy_pair(tmp_path):
+    servers = _start_pair(tmp_path, "proxy")
+    yield servers
+    for server in servers:
+        server.stop()
+
+
+class TestFleetHTTP:
+    def test_members_expose_the_same_ring(self, redirect_pair):
+        views = [TuningClient(server.url).fleet() for server in redirect_pair]
+        assert views[0]["fleet"]["members"] == views[1]["fleet"]["members"]
+        assert views[0]["fleet"]["node"] != views[1]["fleet"]["node"]
+        assert views[0]["fleet"]["size"] == 2
+        assert set(views[0]["queue"]) == {"high", "normal", "low"}
+        health = TuningClient(redirect_pair[0].url).healthz()
+        assert health["fleet"]["mode"] == "redirect"
+
+    def test_redirected_submission_lands_and_polls_on_the_home(self, redirect_pair):
+        request = matmul_request(m=40)
+        home, away = _home_and_away(redirect_pair, request)
+        redirects_before = _metric_total(
+            TuningClient(home.url), "repro_fleet_redirects_total", mode="redirect"
+        )
+        pending = TuningClient(away.url).submit(request)
+        # the handle follows the 307 and binds to the owning server
+        assert pending.client.url == home.url
+        report = pending.result(timeout=300)
+        assert report.best.time_ms > 0
+        assert home.service.stats()["server"]["submitted"] == 1
+        assert away.service.stats()["server"]["submitted"] == 0
+        assert (
+            _metric_total(
+                TuningClient(home.url), "repro_fleet_redirects_total", mode="redirect"
+            )
+            - redirects_before
+        ) == 1
+
+    def test_proxied_submission_is_answered_through_the_non_home(self, proxy_pair):
+        request = matmul_request(m=44)
+        home, away = _home_and_away(proxy_pair, request)
+        pending = TuningClient(away.url).submit(request)
+        assert pending.client.url == home.url  # node field names the owner
+        report = pending.result(timeout=300)
+        assert report.best.time_ms > 0
+        # the job ran home despite being posted to the other member
+        assert home.service.stats()["server"]["tuning_runs"] == 1
+        assert away.service.stats()["server"]["tuning_runs"] == 0
+
+    def test_eight_concurrent_submissions_on_both_servers_cost_one_run(
+        self, redirect_pair
+    ):
+        """The fleet acceptance criterion: exactly-once holds across servers."""
+        request = matmul_request(m=48)
+        expected_compiles = execute_request(request.to_dict())["compiles"]
+        assert expected_compiles > 0
+        home, away = _home_and_away(redirect_pair, request)
+        clients = [TuningClient(home.url), TuningClient(away.url)]
+
+        start = COMPILE_COUNTER.count
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            handles = list(
+                pool.map(lambda i: clients[i % 2].submit(request), range(8))
+            )
+        reports = [handle.result(timeout=300) for handle in handles]
+
+        # one tuning run's worth of compiles fleet-wide, not eight
+        assert COMPILE_COUNTER.count - start == expected_compiles
+        assert all(r.to_dict() == reports[0].to_dict() for r in reports)
+        home_stats = home.service.stats()["server"]
+        away_stats = away.service.stats()["server"]
+        assert home_stats["tuning_runs"] == 1
+        assert away_stats["tuning_runs"] == 0
+        # every submission was routed home and deduplicated there
+        assert home_stats["submitted"] == 8
+        assert home_stats["deduplicated"] + home_stats["cache_hits"] == 7
+
+    def test_batch_submission_returns_live_handles_in_order(self, redirect_pair):
+        requests = [
+            matmul_request(m=52, priority="high"),
+            matmul_request(m=52, priority="high"),  # dedups with the first
+            matmul_request(m=56, priority="low"),
+        ]
+        client = TuningClient(redirect_pair[0].url)
+        handles = client.submit_batch(requests)
+        assert len(handles) == 3
+        assert handles[0].fingerprint == handles[1].fingerprint
+        assert handles[2].fingerprint != handles[0].fingerprint
+        reports = [handle.result(timeout=300) for handle in handles]
+        assert reports[0].to_dict() == reports[1].to_dict()
+        # each handle polls the member that owns its job
+        for request, handle in zip(requests, handles):
+            home, _away = _home_and_away(redirect_pair, request)
+            assert handle.client.url == home.url
+
+    def test_batch_rejects_a_malformed_item(self, redirect_pair):
+        client = TuningClient(redirect_pair[0].url)
+        with pytest.raises(ServiceError, match="batch item rejected"):
+            client.submit_batch(
+                [matmul_request(m=40).to_dict(), {"kernel": "no_such_kernel"}]
+            )
+
+    def test_completed_job_costs_at_most_two_status_requests(self, redirect_pair):
+        """Long-polling: waiting out a job is one or two round trips, not a
+        20Hz polling loop."""
+        request = matmul_request(m=60)
+        home, _away = _home_and_away(redirect_pair, request)
+        client = TuningClient(home.url)
+        before = _metric_total(
+            client, "repro_http_requests_total", method="GET", endpoint="/status"
+        )
+        pending = client.submit(request)
+        job = pending.job(timeout=300)
+        assert job["status"] == "done"
+        polls = (
+            _metric_total(
+                client, "repro_http_requests_total", method="GET", endpoint="/status"
+            )
+            - before
+        )
+        assert polls <= 2
+
+    def test_dashboard_renders_the_fleet_section(self, redirect_pair):
+        html = TuningClient(redirect_pair[0].url).dashboard()
+        assert "<h2>Fleet</h2>" in html
+        assert "this server" in html
+        for server in redirect_pair:
+            assert server.url in html
+
+
+# -- client retry ------------------------------------------------------------------
+class TestClientRetry:
+    def _flaky(self, client: TuningClient, failures: int, status=503):
+        calls = {"n": 0}
+
+        def fake_request(method, url, payload):
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise ServiceError("unavailable", status=status)
+            return {"ok": True}
+
+        client._request_once = fake_request
+        return calls
+
+    def test_disabled_by_default(self):
+        client = TuningClient("http://127.0.0.1:1")
+        calls = self._flaky(client, failures=1)
+        with pytest.raises(ServiceError):
+            client._call("GET", "/healthz")
+        assert calls["n"] == 1
+
+    def test_transient_failures_are_retried_with_backoff(self, monkeypatch):
+        delays = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda s: delays.append(s)
+        )
+        client = TuningClient("http://127.0.0.1:1", retries=3, backoff=0.1)
+        calls = self._flaky(client, failures=2)
+        assert client._call("GET", "/healthz") == {"ok": True}
+        assert calls["n"] == 3
+        assert len(delays) == 2
+        # exponential schedule with 50-100% full jitter per attempt
+        assert 0.05 <= delays[0] <= 0.1
+        assert 0.10 <= delays[1] <= 0.2
+
+    def test_non_transient_errors_are_not_retried(self, monkeypatch):
+        monkeypatch.setattr("repro.service.client.time.sleep", lambda s: None)
+        client = TuningClient("http://127.0.0.1:1", retries=5)
+        calls = self._flaky(client, failures=1, status=400)
+        with pytest.raises(ServiceError):
+            client._call("GET", "/healthz")
+        assert calls["n"] == 1
+
+    def test_retry_budget_is_finite(self, monkeypatch):
+        monkeypatch.setattr("repro.service.client.time.sleep", lambda s: None)
+        client = TuningClient("http://127.0.0.1:1", retries=2, backoff=0.01)
+        calls = self._flaky(client, failures=10)
+        with pytest.raises(ServiceError):
+            client._call("GET", "/healthz")
+        assert calls["n"] == 3  # the first attempt plus two retries
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="retries"):
+            TuningClient("http://127.0.0.1:1", retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            TuningClient("http://127.0.0.1:1", backoff=0.0)
